@@ -1,0 +1,45 @@
+"""Benchmark fixtures.
+
+The table/figure benchmarks are regeneration harnesses: each runs the
+experiment that reproduces one exhibit of the paper, times it with
+pytest-benchmark (single round — these are simulations, not
+microbenchmarks), asserts the exhibit's *shape*, and prints the
+reproduced rows so ``pytest benchmarks/ --benchmark-only -s`` doubles as
+the paper's results section.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.settings import Phase1Settings
+from repro.press.cluster import SMOKE_SCALE
+
+#: Compressed but fully-featured experiment layout for the benches.
+BENCH_SETTINGS = Phase1Settings(
+    scale=SMOKE_SCALE,
+    seed=7,
+    warm=15.0,
+    fault_at=30.0,
+    fault_duration=40.0,
+    post_recovery=60.0,
+    tail=40.0,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_settings() -> Phase1Settings:
+    return BENCH_SETTINGS
+
+
+@pytest.fixture(scope="session")
+def campaign(bench_settings):
+    """The full phase-1 campaign, shared by the figure-6..10 benches."""
+    from repro.experiments.campaign import full_campaign
+
+    return full_campaign(bench_settings)
+
+
+def run_once(benchmark, fn):
+    """Run a simulation-scale benchmark exactly once."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,34 @@
+"""Regenerates Figure 10: the combined pessimistic VIA fault load —
+packet drops 1/month + extra application bugs 1/2-weeks + system failures
+1/month.
+
+Paper's shape: under this load the performability advantage of user-level
+communication evaporates — VIA versions fall below the TCP-HB baseline
+(the paper reports two of three below; the exact count depends on the
+assumed base application rate).
+"""
+
+import pytest
+
+from repro.experiments.performability import format_sensitivity, run_figure10
+
+from .conftest import run_once
+
+
+def test_figure10(benchmark, bench_settings, campaign):
+    fig = run_once(benchmark, lambda: run_figure10(bench_settings))
+    print()
+    print(format_sensitivity(fig))
+
+    p_hb = fig.tcp["TCP-PRESS-HB"]
+    p_tcp = fig.tcp["TCP-PRESS"]
+    via = fig.via["combined"]
+
+    # The pessimistic load erases VIA's performability lead over TCP-HB.
+    below_hb = sum(1 for p in via.values() if p < p_hb)
+    assert below_hb >= 2
+    # Without the extra load, every VIA version was comfortably ahead —
+    # the drop is what the figure is about.
+    assert max(via.values()) < p_hb * 1.1
+    # VIA-5's raw speed keeps it closest to (or above) plain TCP-PRESS.
+    assert via["VIA-PRESS-5"] > p_tcp * 0.8

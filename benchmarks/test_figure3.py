@@ -1,0 +1,46 @@
+"""Regenerates Figure 3: throughput under a node crash (hard reboot).
+
+Paper's shape: TCP-PRESS grinds to a halt, the rebooted node's rejoin is
+disregarded (the timing hole), and it ends up a stranded singleton;
+TCP-PRESS-HB detects via heartbeats and the VIA versions via broken
+connections, both run 3-node during the outage and re-integrate the node
+after reboot.
+"""
+
+import pytest
+
+from repro.experiments.timelines import format_timeline_figure, run_figure3
+
+from .conftest import run_once
+
+
+def test_figure3(benchmark, bench_settings):
+    fig = run_once(benchmark, lambda: run_figure3(bench_settings))
+    print()
+    print(format_timeline_figure(fig, bucket=10.0, title="Figure 3 — node crash"))
+
+    tcp = fig.records["TCP-PRESS"]
+    hb = fig.records["TCP-PRESS-HB"]
+    via = fig.records["VIA-PRESS-5"]
+
+    # TCP-PRESS: stall while the node is down...
+    stall = tcp.timeline.mean_rate(tcp.injected_at + 15, tcp.injected_at + 55)
+    assert stall < tcp.normal_throughput * 0.2
+    # ...and the rejoin never happens without the operator.
+    assert not tcp.recovered_fully
+    assert tcp.reset_at is not None
+
+    # HB and VIA keep serving at the 3-node level during the outage...
+    for record in (hb, via):
+        during = record.timeline.mean_rate(
+            record.injected_at + 20, record.injected_at + 55
+        )
+        assert during > record.normal_throughput * 0.5
+        # ...and re-integrate the rebooted node by themselves.
+        assert record.recovered_fully
+        assert record.rejoined_at is not None
+
+    # VIA detects faster than the heartbeat protocol.
+    assert (via.detection_at - via.injected_at) < (
+        hb.detection_at - hb.injected_at
+    )

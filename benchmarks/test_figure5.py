@@ -1,0 +1,47 @@
+"""Regenerates Figure 5: a NULL pointer passed to the send API.
+
+Paper's shape: the TCP versions detect the fault synchronously (EFAULT to
+the caller) and sail on; VIA-PRESS-0 gets an asynchronous completion
+error and fail-fasts one process; the remote-write versions (VIA-3/5)
+report the error at *both* endpoints and lose two processes — all
+recover by restart + rejoin.
+"""
+
+import pytest
+
+from repro.experiments.timelines import format_timeline_figure, run_figure5
+
+from .conftest import run_once
+
+
+def test_figure5(benchmark, bench_settings):
+    fig = run_once(benchmark, lambda: run_figure5(bench_settings))
+    print()
+    print(
+        format_timeline_figure(
+            fig, bucket=10.0, title="Figure 5 — NULL-pointer send fault"
+        )
+    )
+
+    def fail_fasts(record):
+        return len(
+            [a for a in record.timeline.annotations if a.label == "fail-fast"]
+        )
+
+    # TCP: EFAULT handled, no process deaths, no dip.
+    for version in ("TCP-PRESS", "TCP-PRESS-HB"):
+        record = fig.records[version]
+        assert fail_fasts(record) == 0, version
+        after = record.timeline.mean_rate(
+            record.injected_at, record.injected_at + 30
+        )
+        assert after > record.normal_throughput * 0.85
+
+    # VIA-0: one fatal; remote-write versions: two.
+    assert fail_fasts(fig.records["VIA-PRESS-0"]) == 1
+    assert fail_fasts(fig.records["VIA-PRESS-3"]) == 2
+    assert fail_fasts(fig.records["VIA-PRESS-5"]) == 2
+
+    # Restart + rejoin returns every version to normal throughput.
+    for version, record in fig.records.items():
+        assert record.recovered_fully, version

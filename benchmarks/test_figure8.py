@@ -1,0 +1,29 @@
+"""Regenerates Figure 8: performability when VIA's harder programming
+model is assumed to introduce extra software bugs (TCP is charged one
+extra bug per month; VIA from one per day to one per month).
+
+Paper's shape: performability is comparable when the extra VIA
+application-fault load is around one per week.
+"""
+
+import pytest
+
+from repro.experiments.performability import format_sensitivity, run_figure8
+
+from .conftest import run_once
+
+
+def test_figure8(benchmark, bench_settings, campaign):
+    fig = run_once(benchmark, lambda: run_figure8(bench_settings))
+    print()
+    print(format_sensitivity(fig))
+
+    p_tcp = fig.tcp["TCP-PRESS-HB"]
+    for version in ("VIA-PRESS-0", "VIA-PRESS-3", "VIA-PRESS-5"):
+        # The week-rate point sits near the TCP baseline (the crossover).
+        week = fig.via["1/week"][version]
+        assert fig.via["1/day"][version] < p_tcp
+        assert fig.via["1/month"][version] > p_tcp * 0.9
+        assert (
+            fig.via["1/day"][version] < week < fig.via["1/month"][version]
+        )

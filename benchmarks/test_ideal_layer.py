@@ -1,0 +1,89 @@
+"""EXTENSION: quantify the paper's §7 "ideal" communication layer.
+
+IDEAL-PRESS = VIA-PRESS-5's data path (message-based, zero-copy,
+pre-allocated, fail-stop) + synchronous descriptor validation (errors
+confined to the offending call).  Under the fault classes where each
+existing design loses, the ideal layer should lose nowhere:
+
+* bad parameters  — TCP survives (EFAULT) but VIA fail-fasts: ideal
+  must survive like TCP;
+* kernel memory   — VIA shrugs, TCP stalls: ideal must shrug;
+* node crash      — both detect; ideal must detect instantly like VIA;
+* throughput      — ideal keeps VIA-5's peak.
+"""
+
+import pytest
+
+from repro.experiments.table1 import measure_peak
+from repro.experiments.timelines import run_timeline_figure
+from repro.faults.spec import FaultKind
+
+from .conftest import run_once
+
+CONTENDERS = ["TCP-PRESS", "VIA-PRESS-5", "IDEAL-PRESS"]
+
+
+def test_ideal_layer(benchmark, bench_settings):
+    def run_all():
+        out = {
+            "peak": {
+                v: measure_peak(v, bench_settings) for v in CONTENDERS
+            },
+            "null-pointer": run_timeline_figure(
+                FaultKind.BAD_PARAM_NULL, CONTENDERS, bench_settings
+            ),
+            "off-by-size": run_timeline_figure(
+                FaultKind.BAD_PARAM_SIZE, CONTENDERS, bench_settings
+            ),
+            "kernel-memory": run_timeline_figure(
+                FaultKind.KERNEL_MEMORY, CONTENDERS, bench_settings
+            ),
+        }
+        return out
+
+    out = run_once(benchmark, run_all)
+
+    def fail_fasts(record):
+        return len(
+            [a for a in record.timeline.annotations if a.label == "fail-fast"]
+        )
+
+    print()
+    print("§7 ideal layer vs. the studied designs")
+    print(f"{'metric':26s} " + " ".join(f"{v:>12s}" for v in CONTENDERS))
+    print(
+        f"{'peak throughput (req/s)':26s} "
+        + " ".join(f"{out['peak'][v]:12.0f}" for v in CONTENDERS)
+    )
+    for fault in ("null-pointer", "off-by-size", "kernel-memory"):
+        records = out[fault].records
+        print(
+            f"{fault + ' procs lost':26s} "
+            + " ".join(f"{fail_fasts(records[v]):12d}" for v in CONTENDERS)
+        )
+        print(
+            f"{fault + ' avail':26s} "
+            + " ".join(
+                f"{records[v].timeline.availability:12.4f}"
+                for v in CONTENDERS
+            )
+        )
+
+    # Performance: the ideal layer keeps VIA-5's peak (within noise).
+    assert out["peak"]["IDEAL-PRESS"] == pytest.approx(
+        out["peak"]["VIA-PRESS-5"], rel=0.05
+    )
+    assert out["peak"]["IDEAL-PRESS"] > out["peak"]["TCP-PRESS"] * 1.3
+
+    # Containment: bad parameters kill no processes (VIA-5 loses 2; the
+    # byte-stream TCP loses 1 on off-by-N).
+    for fault in ("null-pointer", "off-by-size"):
+        records = out[fault].records
+        assert fail_fasts(records["IDEAL-PRESS"]) == 0, fault
+        assert fail_fasts(records["VIA-PRESS-5"]) == 2, fault
+        assert records["IDEAL-PRESS"].recovered_fully
+
+    # Pre-allocation: immune to the kernel-memory fault, like VIA.
+    km = out["kernel-memory"].records["IDEAL-PRESS"]
+    during = km.timeline.mean_rate(km.injected_at, km.cleared_at)
+    assert during > km.normal_throughput * 0.9

@@ -1,0 +1,121 @@
+"""Microbenchmarks of the simulation substrate.
+
+Unlike the figure benches these are true hot-loop measurements: they keep
+the reproduction honest about its own performance (the full campaign runs
+hundreds of simulated minutes, so engine overhead matters).
+"""
+
+import pytest
+
+from repro.net.fabric import Fabric
+from repro.osim.node import Node
+from repro.sim.engine import Engine
+from repro.transports.base import Message
+from repro.transports.tcp import TcpTransport
+from repro.transports.via import ViaTransport
+
+
+def test_engine_event_throughput(benchmark):
+    """Schedule+dispatch cost of a bare engine event."""
+
+    def run_10k():
+        e = Engine()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                e.call_after(0.001, tick)
+
+        e.call_after(0.001, tick)
+        e.run()
+        return count[0]
+
+    assert benchmark(run_10k) == 10_000
+
+
+def test_engine_heap_churn(benchmark):
+    """Cost with many concurrent timers (cancellations included)."""
+
+    def run_churn():
+        e = Engine()
+        timers = [e.call_after(float(i % 97) + 1.0, lambda: None) for i in range(5000)]
+        for t in timers[::2]:
+            t.cancel()
+        e.run()
+        return e.events_processed
+
+    assert benchmark(run_churn) == 2500
+
+
+def _transport_pair(transport_cls):
+    import dataclasses
+
+    from repro.transports.via.params import DEFAULT_VIA_PARAMS
+
+    e = Engine()
+    fabric = Fabric(e)
+    nodes = {}
+    transports = {}
+    kwargs = {}
+    if transport_cls is ViaTransport:
+        # The burst below exceeds PRESS's default per-peer shed limit;
+        # for a raw throughput measurement, widen the queue.
+        kwargs["params"] = dataclasses.replace(
+            DEFAULT_VIA_PARAMS, app_queue_limit=10_000
+        )
+    for name in ("a", "b"):
+        node = Node(e, name, fabric.attach(name))
+        node.process.start()
+        nodes[name] = node
+        transports[name] = transport_cls(e, node, **kwargs)
+    received = [0]
+    transports["b"].on_message = lambda p, m: received.__setitem__(
+        0, received[0] + 1
+    )
+    ok = []
+    ch = transports["a"].connect("b", ok.append)
+    e.run(until=5.0)
+    assert ok == [True]
+    return e, ch, received
+
+
+def test_tcp_message_throughput(benchmark):
+    """End-to-end simulated cost per TCP message (framing+segments+acks)."""
+
+    def run_msgs():
+        e, ch, received = _transport_pair(TcpTransport)
+        for _ in range(500):
+            ch.send(Message("m", 1024))
+        e.run(until=100.0)
+        return received[0]
+
+    assert benchmark(run_msgs) == 500
+
+
+def test_via_message_throughput(benchmark):
+    """End-to-end simulated cost per VIA message (descriptor+credits)."""
+
+    def run_msgs():
+        e, ch, received = _transport_pair(ViaTransport)
+        for _ in range(500):
+            ch.send(Message("m", 1024))
+        e.run(until=100.0)
+        return received[0]
+
+    assert benchmark(run_msgs) == 500
+
+
+def test_cluster_simulation_rate(benchmark):
+    """Simulated-seconds per wall-second for a fault-free PRESS cluster."""
+    from repro.press.cluster import SMOKE_SCALE, PressCluster
+    from repro.press.config import VIA_PRESS_5
+
+    def run_cluster():
+        c = PressCluster(VIA_PRESS_5, scale=SMOKE_SCALE, seed=1)
+        c.start()
+        c.run_until(30.0)
+        return c.engine.events_processed
+
+    events = benchmark(run_cluster)
+    assert events > 1000

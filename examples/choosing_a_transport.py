@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Should your cluster service use kernel TCP or user-level VIA?
+
+The paper's practical payoff: given *your* beliefs about fault rates,
+the two-phase methodology answers which substrate yields better
+performability.  This example runs the full pipeline —
+
+1. phase 1: measure every fault's seven-stage profile for a TCP and a
+   VIA version of the server;
+2. phase 2: evaluate the analytic model across a range of assumed
+   fault environments;
+3. find the crossover: how buggy/immature would the VIA deployment have
+   to be before TCP wins?
+
+Usage::
+
+    python examples/choosing_a_transport.py
+"""
+
+from repro.core import (
+    DAY,
+    MONTH,
+    WEEK,
+    FaultLoad,
+    crossover_multiplier,
+    evaluate,
+    packet_drop_component,
+    performability_of,
+)
+from repro.experiments import CROSSOVER_KINDS, Phase1Settings, measure_profile_set
+from repro.press import SMOKE_SCALE
+
+SETTINGS = Phase1Settings(
+    scale=SMOKE_SCALE,
+    seed=11,
+    warm=15.0,
+    fault_at=30.0,
+    fault_duration=40.0,
+    post_recovery=60.0,
+    tail=40.0,
+    replications=2,
+)
+
+
+def main() -> None:
+    print("phase 1: measuring fault profiles (this runs ~50 experiments)...")
+    tcp = measure_profile_set("TCP-PRESS", SETTINGS)
+    via = measure_profile_set("VIA-PRESS-5", SETTINGS)
+    print(f"  TCP-PRESS   Tn = {tcp.normal_throughput:6.0f} req/s")
+    print(f"  VIA-PRESS-5 Tn = {via.normal_throughput:6.0f} req/s\n")
+
+    print("phase 2: performability under a range of fault environments")
+    print(f"{'application fault rate':>24s} {'P(TCP)':>9s} {'P(VIA)':>9s}  winner")
+    for label, mttf in (("1/day", DAY), ("1/week", WEEK), ("1/month", MONTH)):
+        load = FaultLoad.table3(app_fault_mttf=mttf)
+        p_tcp = performability_of(evaluate(tcp, load))
+        p_via = performability_of(evaluate(via, load))
+        winner = "VIA" if p_via > p_tcp else "TCP"
+        print(f"{label:>24s} {p_tcp:9.1f} {p_via:9.1f}  {winner}")
+
+    print("\nsensitivity: what if the VIA fabric drops packets?")
+    base = FaultLoad.table3(app_fault_mttf=WEEK)
+    p_tcp = performability_of(evaluate(tcp, base))
+    for label, mttf in (("1/day", DAY), ("1/week", WEEK), ("1/month", MONTH)):
+        load = base.with_extra(packet_drop_component(mttf))
+        p_via = performability_of(evaluate(via, load))
+        winner = "VIA" if p_via > p_tcp else "TCP"
+        print(f"  drops {label:8s}: P(VIA) = {p_via:7.1f} vs P(TCP) = {p_tcp:7.1f}  -> {winner}")
+
+    multiplier = crossover_multiplier(
+        tcp, via, base, lambda m: base.scaled(m, CROSSOVER_KINDS)
+    )
+    print(
+        f"\ncrossover: VIA's switch/link/application faults would have to"
+        f"\noccur at {multiplier:.1f}x the TCP rate before performabilities"
+        f"\nequalize (the paper reports approximately 4x)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Prototype the paper's §7 "ideal" communication layer and measure it.
+
+The discussion section argues a high-performance, high-availability
+communication layer should (a) preserve message boundaries, (b) use
+single-copy transfers, (c) pre-allocate channel resources, and (d) match
+the fabric's fault model.  VIA already does (a), (c), (d); this example
+uses the library's ablation knobs to build two *hypothetical* stacks and
+compare all four under the same fault campaign:
+
+* ``TCP``           — the real kernel-TCP stack;
+* ``TCP+boundaries``— TCP with boundary-preserving framing (knob);
+* ``VIA``           — the real pre-allocated fail-stop stack;
+* ``VIA-dynamic``   — VIA robbed of pre-allocation (knob).
+
+Usage::
+
+    python examples/custom_communication_layer.py
+"""
+
+import dataclasses
+
+from repro.faults import FaultKind, FaultSpec
+from repro.press import ALL_VERSIONS, PressCluster, SMOKE_SCALE
+from repro.transports.tcp.params import DEFAULT_TCP_PARAMS
+from repro.transports.via.params import DEFAULT_VIA_PARAMS
+
+SCENARIOS = {
+    "TCP": dict(version="TCP-PRESS"),
+    "TCP+boundaries": dict(
+        version="TCP-PRESS",
+        tcp_params=dataclasses.replace(
+            DEFAULT_TCP_PARAMS, boundary_preserving=True
+        ),
+    ),
+    "VIA": dict(version="VIA-PRESS-0"),
+    "VIA-dynamic": dict(
+        version="VIA-PRESS-0",
+        via_params=dataclasses.replace(DEFAULT_VIA_PARAMS, dynamic_buffers=True),
+    ),
+}
+
+FAULTS = (
+    FaultSpec(FaultKind.KERNEL_MEMORY, target="node2", at=30.0, duration=40.0),
+    FaultSpec(FaultKind.BAD_PARAM_SIZE, target="node2", at=30.0, off_by_n=33),
+)
+
+
+def run(name: str, spec: FaultSpec) -> tuple:
+    params = SCENARIOS[name]
+    cluster = PressCluster(
+        ALL_VERSIONS[params["version"]],
+        scale=SMOKE_SCALE,
+        seed=6,
+        tcp_params=params.get("tcp_params"),
+        via_params=params.get("via_params"),
+    )
+    cluster.start()
+    cluster.mendosus.schedule(spec)
+    cluster.run_until(120.0)
+    processes_lost = sum(s.fail_fasts for s in cluster.servers.values())
+    return cluster.monitor.availability(), processes_lost
+
+
+def main() -> None:
+    for spec in FAULTS:
+        print(f"\n=== fault: {spec.label()} ===")
+        print(f"{'stack':16s} {'availability':>13s} {'processes lost':>15s}")
+        for name in SCENARIOS:
+            availability, lost = run(name, spec)
+            print(f"{name:16s} {availability:13.4f} {lost:15d}")
+    print(
+        "\nLessons (paper §7): pre-allocation decides the memory-fault"
+        "\ncolumn; message boundaries decide the bad-parameter column."
+        "\nThe ideal layer takes VIA's row one step further by keeping"
+        "\nboth properties at once."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: boot a PRESS cluster, break a link, watch it cope.
+
+Runs the same experiment twice — once with TCP as the intra-cluster
+substrate, once with VIA — and prints the throughput timeline around the
+fault.  This is the paper's Figure 2 in miniature.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro.faults import FaultKind, FaultSpec
+from repro.press import ALL_VERSIONS, PressCluster, SMOKE_SCALE
+
+FAULT_AT = 40.0
+FAULT_LASTS = 40.0
+RUN_FOR = 160.0
+
+
+def run(version_name: str) -> None:
+    cluster = PressCluster(ALL_VERSIONS[version_name], scale=SMOKE_SCALE, seed=1)
+    cluster.start()
+
+    # Take node2's link down for 40 simulated seconds (intra-cluster
+    # traffic only — clients are not disturbed, as in the paper's setup).
+    cluster.mendosus.schedule(
+        FaultSpec(
+            FaultKind.LINK_DOWN,
+            target="node2",
+            at=FAULT_AT,
+            duration=FAULT_LASTS,
+        )
+    )
+    cluster.run_until(RUN_FOR)
+
+    print(f"\n=== {version_name} ===")
+    print(f"availability over the run: {cluster.monitor.availability():.4f}")
+    print("throughput (req/s, 10s buckets, * marks the fault window):")
+    for start in range(0, int(RUN_FOR), 10):
+        rate = cluster.measured_rate(start, start + 10)
+        marker = "*" if FAULT_AT <= start < FAULT_AT + FAULT_LASTS else " "
+        bar = "#" * int(rate / 150)
+        print(f"  t={start:4d}s {marker} {rate:6.0f} {bar}")
+    views = {n: sorted(s.members) for n, s in cluster.servers.items()}
+    print(f"final membership views: {views}")
+
+
+def main() -> None:
+    for version in ("TCP-PRESS", "VIA-PRESS-5"):
+        run(version)
+    print(
+        "\nNote how TCP stalls the whole cluster for the entire fault"
+        "\n(retransmission is its only fault detector), while VIA breaks"
+        "\nthe connections instantly, reconfigures to 3+1 nodes, and"
+        "\nbarely dips — the paper's central observation."
+    )
+
+
+if __name__ == "__main__":
+    main()

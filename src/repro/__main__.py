@@ -1,0 +1,198 @@
+"""Command-line interface: regenerate any exhibit of the paper.
+
+Usage::
+
+    python -m repro table1
+    python -m repro figure 2
+    python -m repro figure 6
+    python -m repro timeline --version VIA-PRESS-5 --fault link-down
+    python -m repro campaign --versions TCP-PRESS VIA-PRESS-5
+    python -m repro crossover
+    python -m repro validate
+
+Add ``--scale N`` (CPU/byte scale factor; larger = faster, default 200),
+``--seed N``, and ``--replications N`` to any subcommand.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments.settings import Phase1Settings
+from .faults.spec import FaultKind
+from .press.cluster import ExperimentScale
+
+
+def _settings(args: argparse.Namespace) -> Phase1Settings:
+    return Phase1Settings(
+        scale=ExperimentScale(cpu_factor=args.scale),
+        seed=args.seed,
+        replications=args.replications,
+    )
+
+
+def cmd_table1(args) -> None:
+    from .experiments.table1 import format_table1, run_table1
+
+    print(format_table1(run_table1(_settings(args))))
+
+
+def cmd_figure(args) -> None:
+    settings = _settings(args)
+    if args.number in (2, 3, 4, 5):
+        from .experiments import timelines as tl
+
+        runner = {
+            2: tl.run_figure2,
+            3: tl.run_figure3,
+            5: tl.run_figure5,
+        }
+        if args.number == 4:
+            for label, fig in tl.run_figure4(settings).items():
+                print(tl.format_timeline_figure(fig, title=f"Figure 4 — {label}"))
+                print()
+        else:
+            fig = runner[args.number](settings)
+            print(
+                tl.format_timeline_figure(
+                    fig, title=f"Figure {args.number} — {fig.fault.value}"
+                )
+            )
+    elif args.number in (6, 7, 8, 9, 10):
+        from .experiments import performability as pf
+
+        if args.number == 6:
+            print(pf.format_figure6(pf.run_figure6(settings)))
+        else:
+            runner = {
+                7: pf.run_figure7,
+                8: pf.run_figure8,
+                9: pf.run_figure9,
+                10: pf.run_figure10,
+            }
+            print(pf.format_sensitivity(runner[args.number](settings)))
+    else:
+        sys.exit(f"no figure {args.number}; the paper has figures 2-10")
+
+
+def cmd_timeline(args) -> None:
+    from .analysis.report import timeline_report
+    from .experiments.phase1 import run_by_name
+
+    kind = FaultKind(args.fault)
+    record, _cluster = run_by_name(args.version, kind, _settings(args))
+    print(timeline_report(record))
+
+
+def cmd_campaign(args) -> None:
+    from .analysis.report import campaign_report
+    from .experiments.campaign import full_campaign
+
+    campaign = full_campaign(_settings(args), versions=args.versions or None)
+    print(campaign_report(campaign))
+
+
+def cmd_crossover(args) -> None:
+    from .experiments.performability import run_crossover
+
+    print("§9 crossover multipliers (VIA fault rates vs. TCP-PRESS):")
+    for version, multiplier in run_crossover(_settings(args)).items():
+        print(f"  {version:14s} {multiplier:5.2f}x   (paper: ~4x)")
+
+
+def cmd_stability(args) -> None:
+    from .experiments.stability import (
+        crossover_quantity,
+        format_sweep,
+        performability_quantity,
+        sweep,
+    )
+
+    seeds = list(range(args.seed, args.seed + args.sweep_seeds))
+    settings = _settings(args)
+    print(
+        format_sweep(
+            sweep(performability_quantity(), seeds, settings),
+            title=f"performability across seeds {seeds}:",
+        )
+    )
+    print(
+        format_sweep(
+            sweep(crossover_quantity(), seeds, settings),
+            title="§9 crossover multiplier across seeds:",
+        )
+    )
+
+
+def cmd_validate(args) -> None:
+    import dataclasses
+
+    from .experiments.validation import run_sequential_validation
+
+    settings = dataclasses.replace(_settings(args), utilization=0.72)
+    print("model validation — sequential fault roster:")
+    for version in ("TCP-PRESS", "VIA-PRESS-5"):
+        r = run_sequential_validation(version, settings, spacing=500.0)
+        print(
+            f"  {version:14s} simulated AA {r.simulated_availability:.4f}"
+            f"  predicted AA {r.predicted_availability:.4f}"
+            f"  error/unavailability {r.relative_error:.2f}"
+        )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the tables and figures of the HPCA'03 "
+        "communication-architecture performability study.",
+    )
+    parser.add_argument("--scale", type=float, default=200.0,
+                        help="CPU/byte scale factor (larger = faster run)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--replications", type=int, default=3)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="near-peak throughput of the 5 versions")
+
+    p_fig = sub.add_parser("figure", help="regenerate one figure (2-10)")
+    p_fig.add_argument("number", type=int)
+
+    p_tl = sub.add_parser("timeline", help="one (version, fault) timeline")
+    p_tl.add_argument("--version", required=True)
+    p_tl.add_argument(
+        "--fault",
+        required=True,
+        choices=[k.value for k in FaultKind],
+    )
+
+    p_camp = sub.add_parser("campaign", help="full phase-1+2 report")
+    p_camp.add_argument("--versions", nargs="*", default=None)
+
+    sub.add_parser("crossover", help="the §9 ~4x crossover multipliers")
+    sub.add_parser("validate", help="validate the model against simulation")
+
+    p_stab = sub.add_parser(
+        "stability", help="seed-sweep error bars for the headline numbers"
+    )
+    p_stab.add_argument("--sweep-seeds", type=int, default=3,
+                        help="number of consecutive seeds to sweep")
+    return parser
+
+
+def main(argv=None) -> None:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "table1": cmd_table1,
+        "figure": cmd_figure,
+        "timeline": cmd_timeline,
+        "campaign": cmd_campaign,
+        "crossover": cmd_crossover,
+        "validate": cmd_validate,
+        "stability": cmd_stability,
+    }[args.command]
+    handler(args)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Terminal-friendly charts: sparklines, bar charts, timeline plots.
+
+Everything renders to plain strings so reports work over SSH, in CI
+logs, and in the paper-regeneration benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence, Tuple
+
+_SPARK = "▁▂▃▄▅▆▇█"
+_BAR = "█"
+
+
+def sparkline(values: Sequence[float], lo: Optional[float] = None,
+              hi: Optional[float] = None) -> str:
+    """A one-line unicode sparkline of ``values``."""
+    if not values:
+        return ""
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    span = hi - lo
+    if span <= 0:
+        return _SPARK[0] * len(values)
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(_SPARK) - 1))
+        out.append(_SPARK[max(0, min(idx, len(_SPARK) - 1))])
+    return "".join(out)
+
+
+def bar_chart(
+    rows: Mapping[str, float],
+    width: int = 40,
+    unit: str = "",
+    lo: float = 0.0,
+) -> str:
+    """A horizontal bar chart, one labelled row per entry."""
+    if not rows:
+        return "(no data)"
+    hi = max(rows.values())
+    span = hi - lo
+    label_width = max(len(k) for k in rows)
+    lines = []
+    for label, value in rows.items():
+        frac = 0.0 if span <= 0 else (value - lo) / span
+        bar = _BAR * max(0, int(frac * width))
+        lines.append(f"{label:{label_width}s} {value:10.1f}{unit} {bar}")
+    return "\n".join(lines)
+
+
+def timeline_plot(
+    series: Sequence[Tuple[float, float]],
+    bucket: float = 10.0,
+    height: int = 8,
+    markers: Optional[Mapping[float, str]] = None,
+) -> str:
+    """A small block plot of a throughput timeline.
+
+    ``markers`` maps times to single characters rendered on a rail below
+    the plot (e.g. ``{60.0: "F"}`` for the fault instant).
+    """
+    if not series:
+        return "(no data)"
+    end = series[-1][0]
+    # Coarsen to the requested bucket.
+    points: List[float] = []
+    t = 0.0
+    values = dict(series)
+    src_bucket = series[1][0] - series[0][0] if len(series) > 1 else 1.0
+    while t <= end:
+        window = [
+            v
+            for (tt, v) in series
+            if t <= tt < t + bucket
+        ]
+        points.append(sum(window) / len(window) if window else 0.0)
+        t += bucket
+    hi = max(points) or 1.0
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = hi * (level - 0.5) / height
+        row = "".join("█" if p >= threshold else " " for p in points)
+        rows.append(f"{hi * level / height:8.0f} |{row}")
+    rows.append(" " * 9 + "+" + "-" * len(points))
+    if markers:
+        rail = [" "] * len(points)
+        for when, char in markers.items():
+            idx = int(when / bucket)
+            if 0 <= idx < len(rail):
+                rail[idx] = char[0]
+        rows.append(" " * 10 + "".join(rail))
+    return "\n".join(rows)

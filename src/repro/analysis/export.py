@@ -1,0 +1,89 @@
+"""Data export: timelines, profiles, and model results to CSV/JSON.
+
+For downstream plotting (matplotlib, gnuplot, spreadsheets) without
+adding plotting dependencies to the library itself.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Iterable, Mapping
+
+from ..core.model import PerformabilityResult, ProfileSet
+from ..core.stages import STAGES
+from ..sim.monitor import Timeline
+
+
+def timeline_to_csv(timeline: Timeline) -> str:
+    """``time,throughput,failures`` rows for one measured timeline."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["time_s", "throughput_rps", "failures_rps"])
+    failures = dict(timeline.failures)
+    for t, rate in timeline.series:
+        writer.writerow([f"{t:.1f}", f"{rate:.2f}", f"{failures.get(t, 0.0):.2f}"])
+    return buf.getvalue()
+
+
+def profiles_to_csv(profiles: ProfileSet) -> str:
+    """One row per (fault, stage) with duration and throughput."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(
+        ["version", "fault", "stage", "duration_s", "throughput_rps"]
+    )
+    for key in sorted(profiles.keys()):
+        p = profiles.get(key)
+        for stage in STAGES:
+            writer.writerow(
+                [
+                    profiles.version,
+                    key,
+                    stage.value,
+                    f"{p.duration(stage):.2f}",
+                    f"{p.throughput(stage):.2f}",
+                ]
+            )
+    return buf.getvalue()
+
+
+def result_to_dict(result: PerformabilityResult) -> dict:
+    from ..core.metric import performability_of
+
+    return {
+        "version": result.version,
+        "normal_throughput": result.normal_throughput,
+        "average_throughput": result.average_throughput,
+        "availability": result.availability,
+        "unavailability": result.unavailability,
+        "performability": performability_of(result),
+        "contributions": [
+            {
+                "name": c.name,
+                "profile": c.profile_key,
+                "weight": c.weight,
+                "unavailability": c.unavailability,
+            }
+            for c in result.contributions
+        ],
+    }
+
+
+def results_to_json(results: Iterable[PerformabilityResult], indent: int = 2) -> str:
+    return json.dumps([result_to_dict(r) for r in results], indent=indent)
+
+
+def timeline_to_dict(timeline: Timeline) -> dict:
+    return {
+        "version": timeline.version,
+        "fault": timeline.fault,
+        "bucket_width": timeline.bucket_width,
+        "availability": timeline.availability,
+        "series": [[t, r] for t, r in timeline.series],
+        "annotations": [
+            {"time": a.time, "label": a.label, "detail": a.detail}
+            for a in timeline.annotations
+        ],
+    }

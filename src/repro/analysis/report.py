@@ -1,0 +1,109 @@
+"""Structured text reports over campaigns, profiles, and model results."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+from ..core.faultload import DAY, MONTH, FaultLoad
+from ..core.metric import performability_of
+from ..core.model import PerformabilityResult, ProfileSet, evaluate
+from ..core.stages import STAGES, SevenStageProfile
+from ..faults.spec import FaultKind, category_of
+from .charts import bar_chart, sparkline, timeline_plot
+
+
+def profile_table(profiles: ProfileSet) -> str:
+    """Per-fault stage table for one version's campaign measurements."""
+    lines = [
+        f"{profiles.version} — Tn = {profiles.normal_throughput:.0f} req/s",
+        f"{'fault':32s}" + "".join(f"{s.value:>16s}" for s in STAGES),
+    ]
+    for key in sorted(profiles.keys()):
+        p = profiles.get(key)
+        cells = []
+        for stage in STAGES:
+            d = p.duration(stage)
+            if d <= 0:
+                cells.append(f"{'—':>16s}")
+            else:
+                cells.append(f"{d:7.1f}s@{p.throughput(stage):6.0f}")
+        lines.append(f"{key:32s}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def result_summary(result: PerformabilityResult) -> str:
+    """One model evaluation: headline numbers + contribution chart."""
+    lines = [
+        f"{result.version}: AA = {result.availability:.5f}"
+        f"  (unavailability {result.unavailability * 100:.3f}%)"
+        f"  AT = {result.average_throughput:.0f} req/s"
+        f"  P = {performability_of(result):.1f}",
+        "unavailability contributions:",
+    ]
+    rows = {
+        c.name: c.unavailability * 100
+        for c in sorted(result.contributions, key=lambda c: -c.unavailability)
+        if c.unavailability > 1e-6
+    }
+    lines.append(bar_chart(rows, width=30, unit="%"))
+    return "\n".join(lines)
+
+
+def category_breakdown(result: PerformabilityResult) -> Dict[str, float]:
+    """Unavailability grouped by Table-2 category (Figure 6(a) grouping)."""
+    grouping = {}
+    for kind in FaultKind:
+        grouping[kind.value] = category_of(kind).value
+    # Sensitivity extras keep their labels.
+    return result.grouped_unavailability(grouping)
+
+
+def campaign_report(
+    campaign: Mapping[str, ProfileSet],
+    loads: Optional[Mapping[str, FaultLoad]] = None,
+) -> str:
+    """The full phase-1 + phase-2 story for a set of versions."""
+    if loads is None:
+        loads = {
+            "app faults 1/day": FaultLoad.table3(app_fault_mttf=DAY),
+            "app faults 1/month": FaultLoad.table3(app_fault_mttf=MONTH),
+        }
+    sections = ["=" * 72, "PHASE 1 — measured seven-stage profiles", "=" * 72]
+    for version in campaign:
+        sections.append(profile_table(campaign[version]))
+        sections.append("")
+    sections += ["=" * 72, "PHASE 2 — modeled performability", "=" * 72]
+    for label, load in loads.items():
+        sections.append(f"--- fault load: {label} ---")
+        for version, profiles in campaign.items():
+            # A partial campaign evaluates against the loads it measured.
+            usable = FaultLoad(
+                components=tuple(c for c in load if c.key in profiles)
+            )
+            skipped = len(load) - len(usable)
+            if skipped:
+                sections.append(
+                    f"(note: {skipped} fault sources without measured"
+                    f" profiles were skipped for {version})"
+                )
+            sections.append(result_summary(evaluate(profiles, usable)))
+            sections.append("")
+    return "\n".join(sections)
+
+
+def timeline_report(record, bucket: float = 10.0) -> str:
+    """Render one phase-1 record: plot + annotated instants."""
+    tl = record.timeline
+    markers = {record.injected_at: "F", record.cleared_at: "R"}
+    if record.detection_at is not None:
+        markers[record.detection_at] = "D"
+    if record.reset_at is not None:
+        markers[record.reset_at] = "O"
+    lines = [
+        f"{record.version} / {record.fault}"
+        f"  (Tn = {record.normal_throughput:.0f} req/s)",
+        timeline_plot(tl.series, bucket=bucket, markers=markers),
+        "F=fault R=component-recovered D=detected O=operator-reset",
+        f"availability over the run: {tl.availability:.4f}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,201 @@
+"""Fault loads: MTTF/MTTR per component (Table 3) and their scaling.
+
+The paper's base load (Table 3):
+
+======================================  ========  =========
+Fault                                   MTTF      MTTR
+======================================  ========  =========
+Link down                               6 months  3 minutes
+Switch down                             1 year    1 hour
+Node crash                              2 weeks   3 minutes
+Node freeze                             2 weeks   3 minutes
+Memory pinning failure                  61 days   3 minutes
+Memory allocation failure               61 days   3 minutes
+Process crash / hang / bad parameters   variable  3 minutes
+======================================  ========  =========
+
+Application-level faults share one overall rate (studied from once per
+day to once per month) split per the field-failure distribution of
+[Chillarege et al. 1995]: crash 40%, hang 40%, null pointer 8%,
+off-by-N data pointer 9%, off-by-N size 2%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Mapping, Optional
+
+from ..faults.spec import FaultKind
+
+# -- time helpers (seconds) -------------------------------------------------
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 86400.0
+WEEK = 7 * DAY
+MONTH = 30 * DAY
+YEAR = 365 * DAY
+
+#: The application-fault split observed in field data [11].
+APPLICATION_FAULT_SPLIT: Dict[FaultKind, float] = {
+    FaultKind.APP_CRASH: 0.40,
+    FaultKind.APP_HANG: 0.40,
+    FaultKind.BAD_PARAM_NULL: 0.08,
+    FaultKind.BAD_PARAM_OFFSET: 0.09,
+    FaultKind.BAD_PARAM_SIZE: 0.02,
+}
+
+APPLICATION_FAULTS = tuple(APPLICATION_FAULT_SPLIT)
+
+NON_APPLICATION_FAULTS = (
+    FaultKind.LINK_DOWN,
+    FaultKind.SWITCH_DOWN,
+    FaultKind.NODE_CRASH,
+    FaultKind.NODE_FREEZE,
+    FaultKind.MEMORY_PINNING,
+    FaultKind.KERNEL_MEMORY,
+)
+
+
+@dataclass(frozen=True)
+class ComponentFault:
+    """One row of the fault load: a fault source with its rates."""
+
+    kind: FaultKind
+    mttf: float  # seconds between occurrences
+    mttr: float  # seconds to repair the faulty component
+    #: Which measured profile to use; defaults to the fault's own kind.
+    #: Sensitivity scenarios remap (e.g. "packet drops behave like
+    #: process crashes on VIA").
+    profile_key: Optional[str] = None
+    label: Optional[str] = None
+
+    @property
+    def rate(self) -> float:
+        return 1.0 / self.mttf
+
+    @property
+    def key(self) -> str:
+        return self.profile_key if self.profile_key else self.kind.value
+
+    @property
+    def name(self) -> str:
+        return self.label if self.label else self.kind.value
+
+
+@dataclass(frozen=True)
+class FaultLoad:
+    """A complete fault environment: a set of component fault sources."""
+
+    components: tuple
+
+    def __iter__(self):
+        return iter(self.components)
+
+    def __len__(self) -> int:
+        return len(self.components)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def table3(
+        cls,
+        app_fault_mttf: float = DAY,
+        n_nodes: int = 4,
+    ) -> "FaultLoad":
+        """The paper's base load (Table 3) for a cluster of ``n_nodes``.
+
+        Per-node fault sources (crashes, freezes, memory, application)
+        occur independently on each node, so the *cluster-level* MTTF of
+        each such source is the per-node MTTF divided by ``n_nodes``.
+        ``app_fault_mttf`` is the per-node rate of all application-level
+        faults combined, split per :data:`APPLICATION_FAULT_SPLIT`.
+        """
+        per_node = [
+            ComponentFault(FaultKind.NODE_CRASH, 2 * WEEK, 3 * MINUTE),
+            ComponentFault(FaultKind.NODE_FREEZE, 2 * WEEK, 3 * MINUTE),
+            ComponentFault(FaultKind.MEMORY_PINNING, 61 * DAY, 3 * MINUTE),
+            ComponentFault(FaultKind.KERNEL_MEMORY, 61 * DAY, 3 * MINUTE),
+            ComponentFault(FaultKind.LINK_DOWN, 6 * MONTH, 3 * MINUTE),
+        ]
+        components = [
+            replace(c, mttf=c.mttf / n_nodes) for c in per_node
+        ]
+        components.append(
+            ComponentFault(FaultKind.SWITCH_DOWN, YEAR, HOUR)
+        )
+        for kind, share in APPLICATION_FAULT_SPLIT.items():
+            components.append(
+                ComponentFault(
+                    kind,
+                    mttf=app_fault_mttf / share / n_nodes,
+                    mttr=3 * MINUTE,
+                )
+            )
+        return cls(components=tuple(components))
+
+    # ------------------------------------------------------------------
+    # Transformations (sensitivity scenarios)
+    # ------------------------------------------------------------------
+    def with_extra(self, *extra: ComponentFault) -> "FaultLoad":
+        return FaultLoad(components=self.components + tuple(extra))
+
+    def scaled(self, factor: float, kinds: Optional[Iterable[FaultKind]] = None
+               ) -> "FaultLoad":
+        """Multiply fault *rates* by ``factor`` (divide MTTFs).
+
+        ``kinds`` restricts the scaling to a subset of fault kinds.
+        """
+        if factor <= 0:
+            raise ValueError("rate factor must be positive")
+        selected = set(kinds) if kinds is not None else None
+        out = []
+        for c in self.components:
+            if selected is None or c.kind in selected:
+                out.append(replace(c, mttf=c.mttf / factor))
+            else:
+                out.append(c)
+        return FaultLoad(components=tuple(out))
+
+    def total_rate(self) -> float:
+        return sum(c.rate for c in self.components)
+
+
+def packet_drop_component(mttf: float, n_nodes: int = 4) -> ComponentFault:
+    """Figure 7's extra VIA fault: a transient packet drop.
+
+    The VIA specification says drops are extremely rare; when one
+    happens, the error is reported and the process terminates itself —
+    so the *profile* is the application-crash profile, at the drop rate.
+    """
+    return ComponentFault(
+        FaultKind.APP_CRASH,
+        mttf=mttf / n_nodes,
+        mttr=3 * MINUTE,
+        profile_key=FaultKind.APP_CRASH.value,
+        label="packet-drop",
+    )
+
+
+def software_bug_component(mttf: float, n_nodes: int = 4) -> ComponentFault:
+    """Figure 8's extra VIA fault: additional application bugs from the
+    more complex programming model (behaves like an app crash)."""
+    return ComponentFault(
+        FaultKind.APP_CRASH,
+        mttf=mttf / n_nodes,
+        mttr=3 * MINUTE,
+        profile_key=FaultKind.APP_CRASH.value,
+        label="extra-software-bug",
+    )
+
+
+def system_bug_component(mttf: float) -> ComponentFault:
+    """Figure 9's extra VIA fault: hardware/firmware bugs in the young
+    networking subsystem, modeled as switch crashes."""
+    return ComponentFault(
+        FaultKind.SWITCH_DOWN,
+        mttf=mttf,
+        mttr=HOUR,
+        profile_key=FaultKind.SWITCH_DOWN.value,
+        label="system-bug",
+    )

@@ -1,0 +1,49 @@
+"""The performability metric (§2.3).
+
+.. math::
+
+    P = T_n \\times \\frac{\\log(A_I)}{\\log(AA)}
+
+where :math:`T_n` is the normal-operation throughput, :math:`A_I` an
+ideal availability (five nines by default), and :math:`AA` the modeled
+average availability.  The metric scales linearly with performance and
+inversely with unavailability: doubling throughput doubles P, and
+halving unavailability roughly doubles P (because
+:math:`\\log(1-u) \\approx -u` for small :math:`u`).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .model import PerformabilityResult
+
+#: The paper's ideal availability: five nines.
+IDEAL_AVAILABILITY = 0.99999
+
+#: Availability is clamped into this open interval so the metric is
+#: defined at the edges (a perfect system would otherwise divide by
+#: log(1) = 0).
+_EPS = 1e-12
+
+
+def performability(
+    normal_throughput: float,
+    availability: float,
+    ideal: float = IDEAL_AVAILABILITY,
+) -> float:
+    """Compute :math:`P` from throughput and availability."""
+    if normal_throughput < 0:
+        raise ValueError("throughput must be >= 0")
+    if not 0 < ideal < 1:
+        raise ValueError("ideal availability must be in (0, 1)")
+    if not 0 <= availability <= 1:
+        raise ValueError("availability must be in [0, 1]")
+    aa = min(max(availability, _EPS), 1.0 - _EPS)
+    return normal_throughput * math.log(ideal) / math.log(aa)
+
+
+def performability_of(result: PerformabilityResult,
+                      ideal: float = IDEAL_AVAILABILITY) -> float:
+    """Performability of a phase-2 model result."""
+    return performability(result.normal_throughput, result.availability, ideal)

@@ -1,0 +1,84 @@
+"""Sensitivity analysis: rate sweeps and crossover hunting.
+
+The paper's §6.3 varies the fault rates charged to the VIA versions
+(packet drops, extra software bugs, system bugs) and asks at what rates
+the performability of VIA and TCP systems equalize — concluding the
+crossover sits at roughly **4×** the TCP fault rate.  These helpers
+implement the sweep and a bisection solver for the crossover multiplier.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Tuple
+
+from .faultload import FaultLoad
+from .metric import performability_of
+from .model import ProfileSet, evaluate
+
+
+def sweep_app_fault_rate(
+    profiles_by_version: Mapping[str, ProfileSet],
+    mttfs: Iterable[float],
+    make_load: Callable[[float], FaultLoad],
+) -> Dict[str, List[Tuple[float, float, float]]]:
+    """Evaluate every version across a range of application-fault MTTFs.
+
+    Returns ``{version: [(mttf, availability, performability), ...]}`` —
+    the data behind Figure 6.
+    """
+    out: Dict[str, List[Tuple[float, float, float]]] = {}
+    for version, profiles in profiles_by_version.items():
+        rows = []
+        for mttf in mttfs:
+            result = evaluate(profiles, make_load(mttf))
+            rows.append(
+                (mttf, result.availability, performability_of(result))
+            )
+        out[version] = rows
+    return out
+
+
+def crossover_multiplier(
+    tcp_profiles: ProfileSet,
+    via_profiles: ProfileSet,
+    base_load: FaultLoad,
+    via_load_at: Callable[[float], FaultLoad],
+    lo: float = 1.0,
+    hi: float = 64.0,
+    tol: float = 1e-3,
+    max_iter: int = 80,
+) -> float:
+    """Fault-rate multiplier at which VIA and TCP performability equalize.
+
+    ``via_load_at(m)`` builds the VIA fault environment when its fault
+    rates are ``m``× the baseline; TCP is evaluated at the baseline.
+    Returns the bisected multiplier (the paper's answer: ≈ 4).
+
+    Raises ValueError when no crossover exists in ``[lo, hi]`` — e.g.
+    when TCP already wins at parity.
+    """
+    p_tcp = performability_of(evaluate(tcp_profiles, base_load))
+
+    def gap(multiplier: float) -> float:
+        p_via = performability_of(evaluate(via_profiles, via_load_at(multiplier)))
+        return p_via - p_tcp
+
+    g_lo = gap(lo)
+    if g_lo < 0:
+        raise ValueError(
+            f"VIA already loses at {lo}x (gap={g_lo:.1f}); no crossover"
+        )
+    g_hi = gap(hi)
+    if g_hi > 0:
+        raise ValueError(
+            f"VIA still wins at {hi}x (gap={g_hi:.1f}); no crossover in range"
+        )
+    for _ in range(max_iter):
+        mid = (lo + hi) / 2
+        if hi - lo < tol * mid:
+            return mid
+        if gap(mid) > 0:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2

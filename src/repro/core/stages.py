@@ -1,0 +1,178 @@
+"""The seven-stage piecewise-linear model of a service's fault response.
+
+Figure 1 of the paper: after a fault, a server passes through up to seven
+stages, each approximated by an (average throughput, duration) pair:
+
+====  ==============================================================
+A     degraded throughput from fault occurrence until detection
+B     transient while the system reconfigures (warming effects)
+C     stable degraded regime until the component recovers/is repaired
+D     transient right after the component recovers
+E     stable regime after recovery — below normal when the service
+      cannot fully recover by itself (e.g. PRESS never re-merges
+      partitions)
+F     throughput while the operator resets the service
+G     transient right after the reset
+====  ==============================================================
+
+Stages that do not occur get zero duration.  Durations are either
+measured in phase 1 or supplied as environmental assumptions (component
+MTTR, operator response time); throughputs are measured.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Tuple
+
+
+class Stage(enum.Enum):
+    A = "A"  # fault -> detection
+    B = "B"  # reconfiguration transient
+    C = "C"  # stable degraded (component still faulty)
+    D = "D"  # recovery transient
+    E = "E"  # stable post-recovery (possibly below normal)
+    F = "F"  # operator reset
+    G = "G"  # post-reset transient
+
+
+STAGES: Tuple[Stage, ...] = tuple(Stage)
+
+
+@dataclass(frozen=True)
+class StagePoint:
+    """One stage's (duration, average throughput)."""
+
+    duration: float
+    throughput: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"stage duration must be >= 0, got {self.duration}")
+        if self.throughput < 0:
+            raise ValueError(
+                f"stage throughput must be >= 0, got {self.throughput}"
+            )
+
+
+ZERO = StagePoint(0.0, 0.0)
+
+
+@dataclass(frozen=True)
+class SevenStageProfile:
+    """A server's complete measured response to one fault type.
+
+    ``normal_throughput`` is Tn; ``stages`` maps each stage to its
+    measured/assumed point.  Profiles are the phase-1 output and the
+    phase-2 input.
+    """
+
+    fault: str
+    version: str
+    normal_throughput: float
+    stages: Dict[Stage, StagePoint] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.normal_throughput <= 0:
+            raise ValueError("normal throughput must be positive")
+        complete = {s: self.stages.get(s, ZERO) for s in STAGES}
+        object.__setattr__(self, "stages", complete)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def duration(self, stage: Stage) -> float:
+        return self.stages[stage].duration
+
+    def throughput(self, stage: Stage) -> float:
+        return self.stages[stage].throughput
+
+    @property
+    def total_duration(self) -> float:
+        """Total time the system spends off its normal regime per fault."""
+        return sum(p.duration for p in self.stages.values())
+
+    @property
+    def lost_work(self) -> float:
+        """Requests lost per fault occurrence vs. normal operation."""
+        return sum(
+            p.duration * (self.normal_throughput - p.throughput)
+            for p in self.stages.values()
+        )
+
+    def degradation(self, stage: Stage) -> float:
+        """1 - T_s/Tn for the stage (0 = no impact, 1 = total outage)."""
+        return 1.0 - self.throughput(stage) / self.normal_throughput
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def with_stage(
+        self, stage: Stage, duration: float, throughput: float
+    ) -> "SevenStageProfile":
+        stages = dict(self.stages)
+        stages[stage] = StagePoint(duration, throughput)
+        return replace(self, stages=stages)
+
+    @classmethod
+    def no_impact(cls, fault: str, version: str, tn: float) -> "SevenStageProfile":
+        """A fault this version simply shrugs off (all stages zero)."""
+        return cls(fault=fault, version=version, normal_throughput=tn)
+
+    @classmethod
+    def from_pairs(
+        cls,
+        fault: str,
+        version: str,
+        tn: float,
+        pairs: Iterable[Tuple[Stage, float, float]],
+    ) -> "SevenStageProfile":
+        stages = {s: StagePoint(d, t) for s, d, t in pairs}
+        return cls(fault=fault, version=version, normal_throughput=tn, stages=stages)
+
+    def describe(self) -> str:
+        """Human-readable one-liner per stage (for reports)."""
+        parts = []
+        for stage in STAGES:
+            p = self.stages[stage]
+            if p.duration > 0:
+                parts.append(
+                    f"{stage.value}:{p.duration:.1f}s@{p.throughput:.0f}"
+                )
+        inner = " ".join(parts) if parts else "no impact"
+        return f"{self.version}/{self.fault}: {inner}"
+
+
+def average_profiles(profiles) -> SevenStageProfile:
+    """Average replicated measurements of the same (version, fault).
+
+    Stage durations are averaged arithmetically; stage throughputs are
+    averaged weighted by each replication's stage duration (a stage a
+    replication did not exhibit contributes no throughput evidence).
+    """
+    profiles = list(profiles)
+    if not profiles:
+        raise ValueError("need at least one profile to average")
+    first = profiles[0]
+    if any(
+        p.fault != first.fault or p.version != first.version for p in profiles
+    ):
+        raise ValueError("can only average replications of one experiment")
+    n = len(profiles)
+    tn = sum(p.normal_throughput for p in profiles) / n
+    stages = {}
+    for stage in STAGES:
+        total_duration = sum(p.duration(stage) for p in profiles)
+        if total_duration > 0:
+            throughput = (
+                sum(p.duration(stage) * p.throughput(stage) for p in profiles)
+                / total_duration
+            )
+            stages[stage] = StagePoint(total_duration / n, min(throughput, tn))
+    return SevenStageProfile(
+        fault=first.fault,
+        version=first.version,
+        normal_throughput=tn,
+        stages=stages,
+    )

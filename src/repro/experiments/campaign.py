@@ -1,0 +1,81 @@
+"""The full phase-1 campaign: every (version, fault) pair → ProfileSet.
+
+Profile sets are memoized per (version, settings) because Figures 6-10
+all consume the same measurements under different fault loads — exactly
+how the paper reuses its phase-1 data.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..core.extract import extract_profile
+from ..core.model import ProfileSet
+from ..core.stages import average_profiles
+from ..faults.spec import FaultKind
+from ..press.config import ALL_VERSIONS, ALL_VERSIONS_EXTENDED
+from .phase1 import run_baseline, run_single_fault
+from .settings import CAMPAIGN_FAULTS, DEFAULT_SETTINGS, FAULT_MTTR, Phase1Settings
+
+_cache: Dict[tuple, ProfileSet] = {}
+
+
+def measure_profile_set(
+    version: str,
+    settings: Phase1Settings = DEFAULT_SETTINGS,
+    faults: Iterable[FaultKind] = CAMPAIGN_FAULTS,
+    use_cache: bool = True,
+) -> ProfileSet:
+    """Run phase 1 for ``version`` across ``faults`` and fit profiles.
+
+    The experiment is repeated ``settings.replications`` times under
+    distinct seeds and the fitted profiles averaged per fault.
+    """
+    faults = tuple(faults)
+    key = (version, settings.cache_key(), tuple(f.value for f in faults))
+    if use_cache and key in _cache:
+        return _cache[key]
+
+    config = ALL_VERSIONS_EXTENDED[version]
+    tns = []
+    per_fault: Dict[FaultKind, list] = {kind: [] for kind in faults}
+    for rep in range(max(1, settings.replications)):
+        rep_settings = dataclasses.replace(
+            settings, seed=settings.seed + 101 * rep
+        )
+        tn, _ = run_baseline(config, rep_settings)
+        tns.append(tn)
+        for kind in faults:
+            record, _cluster = run_single_fault(
+                config, kind, rep_settings, normal_throughput=tn
+            )
+            per_fault[kind].append(
+                extract_profile(
+                    record, mttr=FAULT_MTTR[kind], env=settings.environment
+                )
+            )
+
+    profiles = ProfileSet(version, sum(tns) / len(tns))
+    for kind in faults:
+        profiles.add(average_profiles(per_fault[kind]))
+
+    if use_cache:
+        _cache[key] = profiles
+    return profiles
+
+
+def full_campaign(
+    settings: Phase1Settings = DEFAULT_SETTINGS,
+    versions: Optional[Iterable[str]] = None,
+    faults: Iterable[FaultKind] = CAMPAIGN_FAULTS,
+) -> Dict[str, ProfileSet]:
+    """Profile sets for every requested version (default: all five)."""
+    names = list(versions) if versions is not None else list(ALL_VERSIONS)
+    return {
+        name: measure_profile_set(name, settings, faults) for name in names
+    }
+
+
+def clear_cache() -> None:
+    _cache.clear()

@@ -1,0 +1,184 @@
+"""Phase-1 experiment driver: one fault, one version, one timeline.
+
+Lays out a run exactly like the paper's fault-injection experiments:
+warm-up, steady measurement of Tn, fault injection, observation through
+recovery, and — when the service cannot restore itself (splintered
+partitions, stranded rejoins) — a simulated operator reset with a
+post-reset observation tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core.extract import ExperimentRecord
+from ..faults.spec import FaultKind, FaultSpec
+from ..press.cluster import PressCluster
+from ..press.config import ALL_VERSIONS, ALL_VERSIONS_EXTENDED, PressConfig
+from ..sim.monitor import Timeline
+from .settings import (
+    DEFAULT_SETTINGS,
+    DEFAULT_TARGET,
+    DURATION_FAULTS,
+    Phase1Settings,
+)
+
+
+def build_cluster(config: PressConfig, settings: Phase1Settings) -> PressCluster:
+    return PressCluster(
+        config,
+        scale=settings.scale,
+        seed=settings.seed,
+        utilization=settings.utilization,
+        restart_delay=settings.restart_delay,
+        reboot_time=settings.reboot_time,
+    )
+
+
+def _collect_timeline(
+    cluster: PressCluster, version: str, fault: str, end: float
+) -> Timeline:
+    """Snapshot the monitor into a Timeline in paper units."""
+    factor = cluster.scale.report_factor
+    series = [
+        (t, rate * factor) for t, rate in cluster.monitor.series(0.0, end)
+    ]
+    failures = [
+        (t, rate * factor)
+        for t, rate in cluster.monitor.failure_series(0.0, end)
+    ]
+    return Timeline(
+        version=version,
+        fault=fault,
+        bucket_width=cluster.monitor.bucket_width,
+        series=series,
+        failures=failures,
+        annotations=list(cluster.annotations.entries),
+        availability=cluster.monitor.availability(),
+    )
+
+
+def run_baseline(
+    config: PressConfig, settings: Phase1Settings = DEFAULT_SETTINGS
+) -> Tuple[float, PressCluster]:
+    """Fault-free run; returns (Tn in paper units, cluster)."""
+    cluster = build_cluster(config, settings)
+    cluster.start()
+    end = settings.warm + settings.fault_at
+    cluster.run_until(end)
+    tn = cluster.measured_rate(settings.warm, end)
+    return tn, cluster
+
+
+def run_single_fault(
+    config: PressConfig,
+    kind: FaultKind,
+    settings: Phase1Settings = DEFAULT_SETTINGS,
+    target: Optional[str] = DEFAULT_TARGET,
+    normal_throughput: Optional[float] = None,
+) -> Tuple[ExperimentRecord, PressCluster]:
+    """Inject ``kind`` into a running cluster and record the response."""
+    cluster = build_cluster(config, settings)
+    cluster.start()
+
+    duration = settings.fault_duration if kind in DURATION_FAULTS else 0.0
+    spec = FaultSpec(
+        kind=kind,
+        target=None if kind is FaultKind.SWITCH_DOWN else target,
+        at=settings.fault_at,
+        duration=duration,
+    )
+    cluster.mendosus.schedule(spec)
+
+    # Expected end of the fault's active period (node crashes clear at
+    # reboot; faults that kill the process recover via the restart
+    # daemon — give it time before judging the cluster partitioned).
+    if kind is FaultKind.NODE_CRASH:
+        active = cluster.nodes[target].reboot_time + settings.restart_delay
+    elif kind in (
+        FaultKind.APP_CRASH,
+        FaultKind.BAD_PARAM_NULL,
+        FaultKind.BAD_PARAM_OFFSET,
+        FaultKind.BAD_PARAM_SIZE,
+    ):
+        active = max(duration, settings.restart_delay)
+    else:
+        active = duration
+    observe_until = settings.fault_at + active + settings.post_recovery
+    cluster.run_until(observe_until)
+
+    reset_at: Optional[float] = None
+    if cluster.is_partitioned():
+        reset_at = cluster.engine.now
+        cluster.operator_reset()
+        cluster.run_until(observe_until + settings.tail)
+    end = cluster.engine.now
+
+    tn = (
+        normal_throughput
+        if normal_throughput is not None
+        else cluster.measured_rate(settings.warm, settings.fault_at)
+    )
+    timeline = _collect_timeline(cluster, config.name, kind.value, end)
+
+    ann = cluster.annotations
+    injected_at = _first_after(ann, "fault-injected", 0.0) or settings.fault_at
+    cleared = _first_after(ann, "fault-cleared", injected_at)
+    restarts = [
+        t for t in ann.times("process-restarted") if t > injected_at
+    ]
+    if reset_at is not None:
+        restarts = [t for t in restarts if t < reset_at]
+    cleared_at = max(
+        [x for x in (cleared, *restarts) if x is not None],
+        default=injected_at,
+    )
+    detection = _detection_time(ann, injected_at)
+    rejoined = [
+        t
+        for t in ann.times("rejoined")
+        if t > injected_at and (reset_at is None or t < reset_at)
+    ]
+    record = ExperimentRecord(
+        version=config.name,
+        fault=kind.value,
+        timeline=timeline,
+        normal_throughput=tn,
+        injected_at=injected_at,
+        cleared_at=cleared_at,
+        end_time=end,
+        reset_at=reset_at,
+        # "Recovered" means the service restored itself *without* the
+        # operator; a simulated reset re-merging the cluster afterwards
+        # does not count.
+        recovered_fully=reset_at is None and not cluster.is_partitioned(),
+        detection_at=detection,
+        rejoined_at=max(rejoined) if rejoined else None,
+    )
+    return record, cluster
+
+
+def run_by_name(
+    version: str,
+    kind: FaultKind,
+    settings: Phase1Settings = DEFAULT_SETTINGS,
+    target: Optional[str] = DEFAULT_TARGET,
+) -> Tuple[ExperimentRecord, PressCluster]:
+    return run_single_fault(ALL_VERSIONS_EXTENDED[version], kind, settings, target)
+
+
+def _first_after(ann, label: str, after: float) -> Optional[float]:
+    times = [t for t in ann.times(label) if t >= after]
+    return min(times) if times else None
+
+
+def _detection_time(ann, injected_at: float) -> Optional[float]:
+    """Earliest sign the service noticed: reconfiguration or fail-fast."""
+    candidates = [
+        t
+        for label in ("reconfigured", "fail-fast")
+        for t in ann.times(label)
+        if t >= injected_at
+    ]
+    return min(candidates) if candidates else None

@@ -1,0 +1,107 @@
+"""Shared experiment settings and per-fault scenario parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..core.extract import DEFAULT_ENVIRONMENT, Environment
+from ..core.faultload import HOUR, MINUTE
+from ..faults.spec import FaultKind
+from ..press.cluster import ExperimentScale, SMOKE_SCALE
+
+
+@dataclass(frozen=True)
+class Phase1Settings:
+    """How a single-fault experiment is laid out in time.
+
+    The defaults compress the paper's multi-minute observation windows
+    while keeping every causally-relevant timing (heartbeat threshold,
+    reboot time, client timeouts) at its real value.
+    """
+
+    scale: ExperimentScale = SMOKE_SCALE
+    seed: int = 7
+    # The paper drives the server to a stable near-peak regime; headroom
+    # would mask the degradation of splintered configurations.
+    utilization: float = 0.9
+    warm: float = 20.0  # settle before measuring Tn
+    fault_at: float = 60.0
+    fault_duration: float = 60.0  # for faults with an active period
+    post_recovery: float = 80.0  # watch stages D/E develop
+    tail: float = 60.0  # after the operator reset (when one happens)
+    environment: Environment = DEFAULT_ENVIRONMENT
+    # Phase-1 runs are replicated with distinct seeds and the fitted
+    # stage profiles averaged: single-run bucket noise in the deep-stall
+    # stages otherwise swings the modeled availability (and the log-scale
+    # performability metric) noticeably.
+    replications: int = 3
+    # Recovery timings of the simulated operations environment.  The
+    # compressed defaults keep phase-1 timelines short; the validation
+    # experiments raise them to the Table-3 MTTR (§2.1: a fault must last
+    # long enough for every stage to be observed).
+    restart_delay: float = 5.0
+    reboot_time: float = 60.0
+
+    def cache_key(self) -> tuple:
+        return (
+            self.scale.cpu_factor,
+            self.seed,
+            self.utilization,
+            self.warm,
+            self.fault_at,
+            self.fault_duration,
+            self.post_recovery,
+            self.tail,
+            self.replications,
+            self.environment,
+            self.restart_delay,
+            self.reboot_time,
+        )
+
+
+DEFAULT_SETTINGS = Phase1Settings()
+
+#: Default injection target: a middle node (not the lowest-id member,
+#: which owns the join-response duty).
+DEFAULT_TARGET = "node2"
+
+#: Which faults have an extended active period (vs. instantaneous).
+DURATION_FAULTS = {
+    FaultKind.LINK_DOWN,
+    FaultKind.SWITCH_DOWN,
+    FaultKind.NODE_FREEZE,
+    FaultKind.KERNEL_MEMORY,
+    FaultKind.MEMORY_PINNING,
+    FaultKind.APP_HANG,
+}
+
+#: Component repair times used when fitting stage C (Table 3 MTTRs).
+FAULT_MTTR: Dict[FaultKind, float] = {
+    FaultKind.LINK_DOWN: 3 * MINUTE,
+    FaultKind.SWITCH_DOWN: HOUR,
+    FaultKind.NODE_CRASH: 3 * MINUTE,
+    FaultKind.NODE_FREEZE: 3 * MINUTE,
+    FaultKind.KERNEL_MEMORY: 3 * MINUTE,
+    FaultKind.MEMORY_PINNING: 3 * MINUTE,
+    FaultKind.APP_CRASH: 3 * MINUTE,
+    FaultKind.APP_HANG: 3 * MINUTE,
+    FaultKind.BAD_PARAM_NULL: 3 * MINUTE,
+    FaultKind.BAD_PARAM_OFFSET: 3 * MINUTE,
+    FaultKind.BAD_PARAM_SIZE: 3 * MINUTE,
+}
+
+#: Every fault injected in the phase-1 campaign.
+CAMPAIGN_FAULTS = (
+    FaultKind.LINK_DOWN,
+    FaultKind.SWITCH_DOWN,
+    FaultKind.NODE_CRASH,
+    FaultKind.NODE_FREEZE,
+    FaultKind.KERNEL_MEMORY,
+    FaultKind.MEMORY_PINNING,
+    FaultKind.APP_CRASH,
+    FaultKind.APP_HANG,
+    FaultKind.BAD_PARAM_NULL,
+    FaultKind.BAD_PARAM_OFFSET,
+    FaultKind.BAD_PARAM_SIZE,
+)

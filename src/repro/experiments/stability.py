@@ -1,0 +1,120 @@
+"""Seed-sweep stability analysis of the headline results.
+
+Phase-1 measurements are stochastic (arrival sampling, fault phase);
+the log-scale performability metric amplifies that noise.  This module
+reruns the headline computations across seeds and reports mean and
+range, so every number quoted from this reproduction can carry an
+honest error bar.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Sequence
+
+from ..core.faultload import MONTH, WEEK, FaultLoad
+from ..core.metric import performability_of
+from ..core.model import evaluate
+from .campaign import measure_profile_set
+from .performability import CROSSOVER_KINDS, run_crossover
+from .settings import DEFAULT_SETTINGS, Phase1Settings
+
+
+@dataclass
+class SweepStat:
+    """Mean and range of one scalar across seeds."""
+
+    name: str
+    samples: List[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        self.samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def lo(self) -> float:
+        return min(self.samples)
+
+    @property
+    def hi(self) -> float:
+        return max(self.samples)
+
+    @property
+    def spread(self) -> float:
+        """Half-range relative to the mean (a crude error bar)."""
+        if self.mean == 0:
+            return 0.0
+        return (self.hi - self.lo) / 2 / abs(self.mean)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.mean:.3f}"
+            f"  [{self.lo:.3f}, {self.hi:.3f}]"
+            f"  (±{self.spread * 100:.0f}%)"
+        )
+
+
+def sweep(
+    quantity: Callable[[Phase1Settings], Mapping[str, float]],
+    seeds: Sequence[int],
+    settings: Phase1Settings = DEFAULT_SETTINGS,
+) -> Dict[str, SweepStat]:
+    """Evaluate ``quantity`` under each seed and aggregate per key."""
+    stats: Dict[str, SweepStat] = {}
+    for seed in seeds:
+        values = quantity(dataclasses.replace(settings, seed=seed))
+        for key, value in values.items():
+            stats.setdefault(key, SweepStat(key)).add(value)
+    return stats
+
+
+def availability_quantity(
+    versions: Sequence[str] = ("TCP-PRESS", "TCP-PRESS-HB", "VIA-PRESS-5"),
+    app_mttf: float = MONTH,
+) -> Callable[[Phase1Settings], Dict[str, float]]:
+    """Figure-6 availability per version, as a sweepable quantity."""
+
+    def compute(settings: Phase1Settings) -> Dict[str, float]:
+        load = FaultLoad.table3(app_fault_mttf=app_mttf)
+        out = {}
+        for version in versions:
+            profiles = measure_profile_set(version, settings)
+            out[version] = evaluate(profiles, load).availability
+        return out
+
+    return compute
+
+
+def performability_quantity(
+    versions: Sequence[str] = ("TCP-PRESS", "TCP-PRESS-HB", "VIA-PRESS-5"),
+    app_mttf: float = MONTH,
+) -> Callable[[Phase1Settings], Dict[str, float]]:
+    def compute(settings: Phase1Settings) -> Dict[str, float]:
+        load = FaultLoad.table3(app_fault_mttf=app_mttf)
+        out = {}
+        for version in versions:
+            profiles = measure_profile_set(version, settings)
+            out[version] = performability_of(evaluate(profiles, load))
+        return out
+
+    return compute
+
+
+def crossover_quantity() -> Callable[[Phase1Settings], Dict[str, float]]:
+    """The §9 multiplier per VIA version, as a sweepable quantity."""
+
+    def compute(settings: Phase1Settings) -> Dict[str, float]:
+        return run_crossover(settings)
+
+    return compute
+
+
+def format_sweep(stats: Mapping[str, SweepStat], title: str = "") -> str:
+    lines = [title] if title else []
+    for stat in stats.values():
+        lines.append("  " + str(stat))
+    return "\n".join(lines)

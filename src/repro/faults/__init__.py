@@ -1,0 +1,13 @@
+"""Fault injection: the Table-2 catalogue and the Mendosus-like injector."""
+
+from .injector import Mendosus
+from .spec import FAULT_CATALOG, FaultCategory, FaultKind, FaultSpec, category_of
+
+__all__ = [
+    "Mendosus",
+    "FaultKind",
+    "FaultCategory",
+    "FaultSpec",
+    "FAULT_CATALOG",
+    "category_of",
+]

@@ -1,0 +1,114 @@
+"""The fault catalogue — Table 2 of the paper.
+
+Each :class:`FaultKind` carries its category and example error sources
+(verbatim from the table) so the harness can group unavailability
+contributions the way Figure 6(a) does.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class FaultCategory(enum.Enum):
+    NETWORK_HARDWARE = "network-hardware"
+    NODE = "node"
+    RESOURCE_EXHAUSTION = "resource-exhaustion"
+    APPLICATION = "application"
+
+
+class FaultKind(enum.Enum):
+    LINK_DOWN = "link-down"
+    SWITCH_DOWN = "switch-down"
+    NODE_CRASH = "node-crash"
+    NODE_FREEZE = "node-freeze"
+    KERNEL_MEMORY = "kernel-memory-allocation"
+    MEMORY_PINNING = "memory-pinning"
+    APP_HANG = "application-hang"
+    APP_CRASH = "application-crash"
+    BAD_PARAM_NULL = "bad-param-null-pointer"
+    BAD_PARAM_OFFSET = "bad-param-off-by-n-pointer"
+    BAD_PARAM_SIZE = "bad-param-off-by-n-size"
+
+
+#: Table 2: fault -> (category, example error sources).
+FAULT_CATALOG: Dict[FaultKind, tuple] = {
+    FaultKind.LINK_DOWN: (
+        FaultCategory.NETWORK_HARDWARE,
+        "Faulty cable, accidental unplugging, mis-configuration",
+    ),
+    FaultKind.SWITCH_DOWN: (
+        FaultCategory.NETWORK_HARDWARE,
+        "Power failure, software bug, mis-configuration",
+    ),
+    FaultKind.NODE_CRASH: (
+        FaultCategory.NODE,
+        "Operator error, OS bug, hardware fault, power failure",
+    ),
+    FaultKind.NODE_FREEZE: (
+        FaultCategory.NODE,
+        "OS bug, OS recovering after killing faulty process",
+    ),
+    FaultKind.KERNEL_MEMORY: (
+        FaultCategory.RESOURCE_EXHAUSTION,
+        "System low on (kernel) memory / out of virtual address space",
+    ),
+    FaultKind.MEMORY_PINNING: (
+        FaultCategory.RESOURCE_EXHAUSTION,
+        "Out of pinnable physical memory",
+    ),
+    FaultKind.APP_HANG: (
+        FaultCategory.APPLICATION,
+        "Application bugs, paging effects",
+    ),
+    FaultKind.APP_CRASH: (
+        FaultCategory.APPLICATION,
+        "Application bugs, operator mis-termination",
+    ),
+    FaultKind.BAD_PARAM_NULL: (
+        FaultCategory.APPLICATION,
+        "Uninitialized pointers, logical error, pointer corruption",
+    ),
+    FaultKind.BAD_PARAM_OFFSET: (
+        FaultCategory.APPLICATION,
+        "Pointer corruption, stale memory handle (RDMA)",
+    ),
+    FaultKind.BAD_PARAM_SIZE: (
+        FaultCategory.APPLICATION,
+        "Logical error, stale memory handle (RDMA)",
+    ),
+}
+
+
+def category_of(kind: FaultKind) -> FaultCategory:
+    return FAULT_CATALOG[kind][0]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A concrete injection: what, where, when, and for how long.
+
+    ``duration`` is meaningful for faults with an extended active period
+    (link/switch down, freezes, hangs, memory exhaustion).  Crashes and
+    bad-parameter faults are instantaneous; their recovery is governed by
+    reboot/restart machinery.  ``off_by_n`` is the byte offset for
+    off-by-N faults (the paper draws 0-100, the dominant range in field
+    data).
+    """
+
+    kind: FaultKind
+    target: Optional[str] = None  # node id; None for switch faults
+    at: float = 0.0
+    duration: float = 0.0
+    off_by_n: int = 16
+    params: dict = field(default_factory=dict)
+
+    @property
+    def category(self) -> FaultCategory:
+        return category_of(self.kind)
+
+    def label(self) -> str:
+        where = self.target if self.target is not None else "switch"
+        return f"{self.kind.value}@{where}"

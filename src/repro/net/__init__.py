@@ -1,0 +1,20 @@
+"""Simulated cluster network: frames, links, switch, NICs, fabric."""
+
+from .fabric import Fabric
+from .link import CLAN_BANDWIDTH, CLAN_LATENCY, Link, intra_cluster_kind
+from .nic import Nic
+from .packet import WIRE_OVERHEAD_BYTES, Frame
+from .switch import SWITCH_DELAY, Switch
+
+__all__ = [
+    "Fabric",
+    "Link",
+    "Nic",
+    "Frame",
+    "Switch",
+    "CLAN_BANDWIDTH",
+    "CLAN_LATENCY",
+    "intra_cluster_kind",
+    "SWITCH_DELAY",
+    "WIRE_OVERHEAD_BYTES",
+]

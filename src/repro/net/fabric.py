@@ -1,0 +1,147 @@
+"""Fabric: topology assembly and the end-to-end frame path.
+
+The testbed topology is a star: every node (cluster servers and client
+machines) hangs off a single cLAN switch.  A frame's journey is::
+
+    src NIC --link--> switch --link--> dst NIC
+
+with loss possible at each hop when the component has fail-stopped.  For
+SAN NICs the fabric synchronously reports unreachable destinations back to
+the sender's NIC (``report_error``) — the hardware-level fault visibility
+that VIA translates into broken connections.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..sim.engine import Engine
+from .link import CLAN_BANDWIDTH, CLAN_LATENCY, Link
+from .nic import Nic
+from .packet import WIRE_OVERHEAD_BYTES, Frame
+from .switch import Switch
+
+
+class Fabric:
+    """A star topology of NICs around one switch."""
+
+    def __init__(self, engine: Engine, switch: Optional[Switch] = None):
+        self.engine = engine
+        self.switch = switch if switch is not None else Switch(engine)
+        self.nics: Dict[str, Nic] = {}
+        self.links: Dict[str, Link] = {}
+        self.frames_delivered = 0
+        self.frames_lost = 0
+
+    # -- assembly ------------------------------------------------------------
+    def attach(
+        self,
+        node_id: str,
+        bandwidth: float = CLAN_BANDWIDTH,
+        latency: float = CLAN_LATENCY,
+        reports_errors: bool = True,
+        loss_fn=None,
+    ) -> Nic:
+        """Create a NIC + link for ``node_id`` and wire them to the switch."""
+        if node_id in self.nics:
+            raise ValueError(f"node {node_id!r} already attached")
+        link = Link(
+            self.engine,
+            name=f"link-{node_id}",
+            bandwidth=bandwidth,
+            latency=latency,
+            loss_fn=loss_fn,
+        )
+        nic = Nic(self.engine, node_id, link, reports_errors=reports_errors)
+        nic._fabric = self
+        self.links[node_id] = link
+        self.nics[node_id] = nic
+        return nic
+
+    def nic(self, node_id: str) -> Nic:
+        return self.nics[node_id]
+
+    def link(self, node_id: str) -> Link:
+        return self.links[node_id]
+
+    # -- reachability (used by SAN error reporting and by tests) -----------
+    def path_up(self, src: str, dst: str, kind: str = "via-msg") -> bool:
+        """True when every fail-stop component on the src→dst path carries
+        frames of ``kind``."""
+        src_nic = self.nics.get(src)
+        dst_nic = self.nics.get(dst)
+        if src_nic is None or dst_nic is None:
+            return False
+        return (
+            src_nic.powered
+            and dst_nic.powered
+            and self.links[src].carries(kind)
+            and self.links[dst].carries(kind)
+            and self.switch.up
+        )
+
+    # -- data path ---------------------------------------------------------
+    def transmit(self, src_nic: Nic, frame: Frame) -> bool:
+        """Carry ``frame`` from ``src_nic`` toward ``frame.dst``.
+
+        Returns True when the frame made it onto the first link.  Loss at
+        later hops is reported to SAN senders via ``report_error`` but is
+        invisible to LAN senders.
+        """
+        dst_nic = self.nics.get(frame.dst)
+        if dst_nic is None:
+            raise KeyError(f"unknown destination {frame.dst!r}")
+        wire_size = frame.size + WIRE_OVERHEAD_BYTES
+
+        # SAN hardware detects unreachable peers at send time: a dead link
+        # or a powered-off remote NIC yields an immediate error report.
+        if src_nic.reports_errors and not self.path_up(
+            frame.src, frame.dst, frame.kind
+        ):
+            self.frames_lost += 1
+            src_nic.report_error(f"unreachable:{frame.dst}")
+            return False
+
+        src_link = self.links[frame.src]
+        sent = src_link.transmit(
+            "a2b",
+            wire_size,
+            frame.kind,
+            lambda: self._at_switch(frame, wire_size),
+        )
+        if not sent:
+            self.frames_lost += 1
+            src_nic.report_error(f"link-down:{frame.src}")
+            return False
+        return True
+
+    def _at_switch(self, frame: Frame, wire_size: int) -> None:
+        forwarded = self.switch.forward(
+            frame.dst, lambda: self._at_dst_link(frame, wire_size)
+        )
+        if not forwarded:
+            self.frames_lost += 1
+            self._report_to_sender(frame, "switch-down")
+
+    def _at_dst_link(self, frame: Frame, wire_size: int) -> None:
+        dst_link = self.links[frame.dst]
+        sent = dst_link.transmit(
+            "b2a", wire_size, frame.kind, lambda: self._deliver(frame)
+        )
+        if not sent:
+            self.frames_lost += 1
+            self._report_to_sender(frame, f"link-down:{frame.dst}")
+
+    def _deliver(self, frame: Frame) -> None:
+        dst_nic = self.nics[frame.dst]
+        if not dst_nic.powered:
+            self.frames_lost += 1
+            self._report_to_sender(frame, f"node-down:{frame.dst}")
+            return
+        self.frames_delivered += 1
+        dst_nic.deliver(frame)
+
+    def _report_to_sender(self, frame: Frame, reason: str) -> None:
+        src_nic = self.nics.get(frame.src)
+        if src_nic is not None:
+            src_nic.report_error(reason)

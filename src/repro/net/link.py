@@ -1,0 +1,125 @@
+"""Point-to-point links with bandwidth, latency, and fail-stop faults.
+
+A link connects one NIC to one switch port.  It serializes frames at its
+bandwidth (a busy-until clock, not a queue of events) and can be taken
+down/up by the fault injector.  Frames in flight or submitted while the
+link is down are lost — exactly the failure the transports must then
+detect (TCP by retransmission timeout, VIA by hardware error report).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..sim.engine import Engine
+
+#: 1 Gb/s cLAN expressed in bytes/second.
+CLAN_BANDWIDTH = 125_000_000
+#: One-way cLAN hop latency in seconds (sub-10us hardware).
+CLAN_LATENCY = 5e-6
+
+
+def intra_cluster_kind(kind: str) -> bool:
+    """True for intra-cluster traffic (everything but client HTTP).
+
+    Mendosus differentiates traffic classes when injecting network faults
+    so "the clients are never disturbed by faults injected into the
+    intra-cluster communication" — a link fault with intra scope drops
+    transport frames but carries client HTTP.
+    """
+    return not kind.startswith("http")
+
+
+class Link:
+    """A unidirectionally-modeled full-duplex link.
+
+    The serializer clock is tracked per direction so that simultaneous
+    send/receive do not contend (full duplex), matching switched
+    point-to-point fabrics.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        bandwidth: float = CLAN_BANDWIDTH,
+        latency: float = CLAN_LATENCY,
+        loss_fn: Optional[Callable[[], bool]] = None,
+    ):
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency < 0:
+            raise ValueError("latency must be >= 0")
+        self.engine = engine
+        self.name = name
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self.loss_fn = loss_fn
+        self._down_filter: Optional[Callable[[str], bool]] = None
+        self._busy_until = {"a2b": 0.0, "b2a": 0.0}
+        self.frames_carried = 0
+        self.frames_lost = 0
+
+    # -- fault control ---------------------------------------------------
+    @property
+    def up(self) -> bool:
+        """True when the link carries at least some traffic class."""
+        return self._down_filter is None
+
+    def fail(self) -> None:
+        """Fail-stop: the link carries nothing until :meth:`repair`."""
+        self._down_filter = lambda kind: True
+
+    def fail_for(self, predicate: Callable[[str], bool]) -> None:
+        """Fail-stop for frame kinds matching ``predicate`` only.
+
+        Used with :func:`intra_cluster_kind` to emulate Mendosus's
+        traffic-class-scoped network faults.
+        """
+        self._down_filter = predicate
+
+    def repair(self) -> None:
+        self._down_filter = None
+
+    def carries(self, kind: str) -> bool:
+        return self._down_filter is None or not self._down_filter(kind)
+
+    # -- data path ---------------------------------------------------------
+    def transmit(
+        self, direction: str, size: int, kind: str, deliver: Callable[[], None]
+    ) -> bool:
+        """Serialize ``size`` bytes and schedule ``deliver`` at arrival.
+
+        Returns False (frame lost) when the link is down for this traffic
+        class or the loss process fires.  The caller decides what loss
+        means (TCP: wait for RTO; VIA: hardware error).
+        """
+        if not self.carries(kind):
+            self.frames_lost += 1
+            return False
+        if self.loss_fn is not None and self.loss_fn():
+            self.frames_lost += 1
+            return False
+        engine = self.engine
+        start = max(engine.now, self._busy_until[direction])
+        done = start + size / self.bandwidth
+        self._busy_until[direction] = done
+        self.frames_carried += 1
+        engine.call_at(done + self.latency, self._arrive, kind, deliver)
+        return True
+
+    def _arrive(self, kind: str, deliver: Callable[[], None]) -> None:
+        # A frame already on the wire when the link fails is lost too:
+        # fail-stop kills in-flight data.
+        if not self.carries(kind):
+            self.frames_lost += 1
+            return
+        deliver()
+
+    def utilization_horizon(self, direction: str) -> float:
+        """Time at which the serializer frees up (test/diagnostic aid)."""
+        return self._busy_until[direction]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.up else "DOWN"
+        return f"<Link {self.name} {state}>"

@@ -1,0 +1,113 @@
+"""Network interface cards.
+
+A NIC is the attachment point of a node to its link.  It exposes:
+
+* ``send(frame)`` — put a frame on the wire (returns False when it is
+  certain at submit time that the frame is lost: NIC powered off or link
+  down *and the fabric reports errors*, see below);
+* a registered receive handler, called for each arriving frame while the
+  NIC is powered.
+
+Error reporting is the crux of the paper's TCP-vs-VIA comparison, so the
+NIC models it explicitly: a SAN NIC (``reports_errors=True``, like cLAN)
+detects a dead link/peer at the hardware level and invokes the
+``error_handler`` — this is what breaks VIA connections "almost
+instantaneously".  A plain LAN NIC (``reports_errors=False``) silently
+loses frames, leaving detection to transport timeouts — TCP's world.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..sim.engine import Engine
+from .link import Link
+from .packet import Frame
+
+
+class Nic:
+    """A node's interface to the fabric."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        node_id: str,
+        link: Link,
+        reports_errors: bool = True,
+    ):
+        self.engine = engine
+        self.node_id = node_id
+        self.link = link
+        self.reports_errors = reports_errors
+        self.powered = True
+        self.rx_handler: Optional[Callable[[Frame], None]] = None
+        self._kind_handlers: dict[str, Callable[[Frame], None]] = {}
+        self.error_handler: Optional[Callable[[str], None]] = None
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.frames_dropped_rx = 0
+        self._fabric = None  # set by Fabric.attach
+
+    # -- wiring ------------------------------------------------------------
+    def on_receive(self, handler: Callable[[Frame], None]) -> None:
+        """Fallback handler for frame kinds without a registered handler."""
+        self.rx_handler = handler
+
+    def register(self, kind: str, handler: Callable[[Frame], None]) -> None:
+        """Route frames of exactly ``kind`` to ``handler``.
+
+        Transports and the HTTP front end each register their own kinds on
+        the shared NIC.
+        """
+        self._kind_handlers[kind] = handler
+
+    def on_error(self, handler: Callable[[str], None]) -> None:
+        """Register the hardware error callback (SAN NICs only)."""
+        self.error_handler = handler
+
+    # -- power / fault control ----------------------------------------------
+    def power_off(self) -> None:
+        """Node crash: the NIC stops sending and receiving."""
+        self.powered = False
+
+    def power_on(self) -> None:
+        self.powered = True
+
+    # -- data path ---------------------------------------------------------
+    def send(self, frame: Frame) -> bool:
+        """Submit a frame to the fabric.
+
+        Returns True when the frame was accepted for transmission.  A
+        False return means the frame was lost at submit time; whether the
+        *sender software* learns about it depends on ``reports_errors``
+        (the fabric calls :meth:`report_error` for SAN NICs).
+        """
+        if not self.powered:
+            return False
+        if self._fabric is None:
+            raise RuntimeError(f"NIC {self.node_id} not attached to a fabric")
+        accepted = self._fabric.transmit(self, frame)
+        if accepted:
+            self.frames_sent += 1
+        return accepted
+
+    def deliver(self, frame: Frame) -> None:
+        """Called by the fabric when a frame arrives."""
+        if not self.powered:
+            self.frames_dropped_rx += 1
+            return
+        handler = self._kind_handlers.get(frame.kind, self.rx_handler)
+        if handler is None:
+            self.frames_dropped_rx += 1
+            return
+        self.frames_received += 1
+        handler(frame)
+
+    def report_error(self, reason: str) -> None:
+        """Hardware-level error indication (SAN semantics)."""
+        if self.reports_errors and self.error_handler is not None and self.powered:
+            self.error_handler(reason)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "on" if self.powered else "OFF"
+        return f"<Nic {self.node_id} {state}>"

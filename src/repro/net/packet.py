@@ -1,0 +1,51 @@
+"""Frames: the unit of transfer on the simulated fabric.
+
+A frame is what a NIC puts on the wire.  Transports decide how application
+messages map onto frames: TCP segments a byte stream into MSS-sized frames;
+VIA sends one frame per descriptor (plus flow-control frames) or one RDMA
+write per message.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+_frame_ids = itertools.count(1)
+
+
+@dataclass
+class Frame:
+    """One unit on the wire.
+
+    Attributes:
+        src: sending node id.
+        dst: destination node id.
+        size: bytes on the wire (payload + header estimate).
+        kind: coarse class used by instrumentation and fault filters
+            (``"tcp"``, ``"via"``, ``"rdma"``, ``"client"``...).
+        payload: opaque object handed to the receiver's NIC handler.
+        frame_id: unique id, useful in traces and tests.
+    """
+
+    src: str
+    dst: str
+    size: int
+    kind: str
+    payload: Any = None
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"frame size must be >= 0, got {self.size}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Frame #{self.frame_id} {self.src}->{self.dst}"
+            f" {self.kind} {self.size}B>"
+        )
+
+
+#: Rough per-frame wire overhead (headers, CRC) charged on top of payload.
+WIRE_OVERHEAD_BYTES = 42

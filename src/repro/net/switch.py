@@ -1,0 +1,81 @@
+"""The cluster switch.
+
+A single switch interconnects all cluster nodes (and, in our experiments,
+the client machines), as in the paper's testbed.  It is modeled with a
+fixed forwarding delay and a fail-stop state; per-port queueing is
+intentionally *not* a drop point because the cLAN fabric uses hop-by-hop
+flow control — under fault-free operation the paper's workloads never
+saturate the switch, and faults are fail-stop rather than congestive.
+
+A ``drop_mode`` switch variant (LAN-style tail-drop with finite queues) is
+provided for the discussion-section ablations about fabrics that drop
+packets under overrun.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..sim.engine import Engine
+
+#: Store-and-forward delay through the switch.
+SWITCH_DELAY = 2e-6
+
+
+class Switch:
+    """Fail-stop switch with a constant forwarding delay."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str = "switch0",
+        delay: float = SWITCH_DELAY,
+        drop_mode: bool = False,
+        queue_limit: int = 512,
+    ):
+        self.engine = engine
+        self.name = name
+        self.delay = delay
+        self.up = True
+        self.drop_mode = drop_mode
+        self.queue_limit = queue_limit
+        self._inflight: Dict[str, int] = {}
+        self.frames_forwarded = 0
+        self.frames_dropped = 0
+
+    # -- fault control ---------------------------------------------------
+    def fail(self) -> None:
+        self.up = False
+
+    def repair(self) -> None:
+        self.up = True
+
+    # -- data path ---------------------------------------------------------
+    def forward(
+        self, out_port: str, deliver: Callable[[], None]
+    ) -> bool:
+        """Queue a frame toward ``out_port``; False when dropped."""
+        if not self.up:
+            self.frames_dropped += 1
+            return False
+        if self.drop_mode:
+            backlog = self._inflight.get(out_port, 0)
+            if backlog >= self.queue_limit:
+                self.frames_dropped += 1
+                return False
+            self._inflight[out_port] = backlog + 1
+        self.frames_forwarded += 1
+        self.engine.call_after(self.delay, self._deliver, out_port, deliver)
+        return True
+
+    def _deliver(self, out_port: str, deliver: Callable[[], None]) -> None:
+        if self.drop_mode:
+            self._inflight[out_port] = max(0, self._inflight.get(out_port, 1) - 1)
+        if not self.up:
+            self.frames_dropped += 1
+            return
+        deliver()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.up else "DOWN"
+        return f"<Switch {self.name} {state}>"

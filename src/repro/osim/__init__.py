@@ -1,0 +1,28 @@
+"""Simulated operating system: memory, CPU work queues, processes, nodes."""
+
+from .cpu import WorkQueue
+from .memory import AllocationError, KernelMemory, PinError, PinnableMemory
+from .node import (
+    DEFAULT_DISK_ACCESS_TIME,
+    DEFAULT_DISK_THREADS,
+    DEFAULT_RAM_BYTES,
+    DEFAULT_REBOOT_TIME,
+    Node,
+)
+from .process import ProcessState, RestartDaemon, SimProcess
+
+__all__ = [
+    "WorkQueue",
+    "KernelMemory",
+    "PinnableMemory",
+    "AllocationError",
+    "PinError",
+    "Node",
+    "SimProcess",
+    "ProcessState",
+    "RestartDaemon",
+    "DEFAULT_RAM_BYTES",
+    "DEFAULT_REBOOT_TIME",
+    "DEFAULT_DISK_ACCESS_TIME",
+    "DEFAULT_DISK_THREADS",
+]

@@ -1,0 +1,185 @@
+"""The server main thread as a serial work queue.
+
+PRESS is one coordinating thread plus helpers; every unit of server work
+(parse a request, handle an intra-cluster message, send a response) is a
+work item with a CPU cost.  The queue:
+
+* executes items FIFO, one at a time — throughput emerges from the sum of
+  item costs;
+* can **block** mid-stream on an event (a TCP send with a full socket
+  buffer, a VIA send with no flow-control credits) — this is precisely how
+  a single stalled peer freezes a whole node in the paper's experiments;
+* can be **frozen** (SIGSTOP, node hang) and later resumed;
+* can be **killed** (process crash, node crash), dropping all queued work.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional, Tuple
+
+from ..sim.engine import Engine, Event, Timer
+
+
+def _noop() -> None:
+    """Placeholder body for pure CPU-charge items."""
+
+
+class WorkQueue:
+    """Serial executor with cost-weighted items, blocking, freeze, kill."""
+
+    def __init__(self, engine: Engine, name: str = "cpu"):
+        self.engine = engine
+        self.name = name
+        self._items: Deque[Tuple[float, Callable]] = deque()
+        self._busy = False
+        self._frozen = False
+        self._dead = False
+        self._block_event: Optional[Event] = None
+        self._completion: Optional[Timer] = None
+        self._current: Optional[Tuple[float, Callable]] = None
+        self.items_executed = 0
+        self.busy_time = 0.0
+
+    # -- state -------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return not self._dead
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    @property
+    def blocked(self) -> bool:
+        return self._block_event is not None
+
+    @property
+    def depth(self) -> int:
+        return len(self._items)
+
+    # -- submission ----------------------------------------------------------
+    def submit(self, cost: float, fn: Callable) -> None:
+        """Queue ``fn`` to run after ``cost`` seconds of CPU time."""
+        if self._dead:
+            return
+        self._items.append((cost, fn))
+        self._maybe_start()
+
+    def submit_front(self, cost: float, fn: Callable) -> None:
+        """Queue at the head (priority work such as error handling)."""
+        if self._dead:
+            return
+        self._items.appendleft((cost, fn))
+        self._maybe_start()
+
+    def charge(self, cost: float) -> None:
+        """Consume ``cost`` seconds of CPU before the next queued item.
+
+        Called from inside a running work item to account for work it
+        performed synchronously (e.g. the send-path cost of a message it
+        just transmitted).
+        """
+        if self._dead or cost <= 0:
+            return
+        self._items.appendleft((cost, _noop))
+        self._maybe_start()
+
+    # -- blocking ------------------------------------------------------------
+    def block_on(self, event: Event) -> None:
+        """Stall the queue until ``event`` triggers.
+
+        Intended to be called from inside a running work item's ``fn``; no
+        further items execute until the event fires.  A failed event also
+        unblocks (the failure reason has been handled by whoever failed
+        it — e.g. a broken connection whose error path runs separately).
+        """
+        if self._dead:
+            return
+        if self._block_event is not None:
+            raise RuntimeError(f"{self.name}: already blocked")
+        self._block_event = event
+        event.add_callback(self._unblocked)
+
+    def _unblocked(self, event: Event) -> None:
+        if self._block_event is not event:
+            return  # stale wake-up after kill/restart
+        self._block_event = None
+        if not self._dead and not self._frozen:
+            self._maybe_start()
+
+    # -- freeze / kill --------------------------------------------------------
+    def freeze(self) -> None:
+        """SIGSTOP semantics: stop consuming work, keep it queued."""
+        self._frozen = True
+        if self._completion is not None and self._completion.active:
+            # The in-flight item is re-queued at the head; its cost is
+            # re-paid on resume (costs are microseconds — negligible).
+            self._completion.cancel()
+            self._completion = None
+            if self._current is not None:
+                self._items.appendleft(self._current)
+                self._current = None
+            self._busy = False
+
+    def unfreeze(self) -> None:
+        self._frozen = False
+        if not self._dead and self._block_event is None:
+            self._maybe_start()
+
+    def kill(self) -> None:
+        """Process death: drop all work, detach from any block event."""
+        self._dead = True
+        self._items.clear()
+        self._block_event = None
+        if self._completion is not None:
+            self._completion.cancel()
+            self._completion = None
+        self._busy = False
+
+    def resurrect(self) -> None:
+        """Fresh process after a restart: empty, unblocked, runnable."""
+        self._dead = False
+        self._frozen = False
+        self._block_event = None
+        self._items.clear()
+        self._busy = False
+
+    # -- execution ----------------------------------------------------------
+    def _maybe_start(self) -> None:
+        if (
+            self._busy
+            or self._frozen
+            or self._dead
+            or self._block_event is not None
+            or not self._items
+        ):
+            return
+        cost, fn = self._items.popleft()
+        self._busy = True
+        self._current = (cost, fn)
+        self.busy_time += cost
+        self._completion = self.engine.call_after(
+            cost, self._complete, cost, fn
+        )
+
+    def _complete(self, cost: float, fn: Callable) -> None:
+        self._completion = None
+        self._current = None
+        if self._dead:
+            return
+        if self._frozen:
+            # Freeze raced with completion; defer the item.
+            self._items.appendleft((0.0, fn))
+            self._busy = False
+            return
+        self._busy = False
+        self.items_executed += 1
+        fn()  # fn may block the queue or submit more work
+        self._maybe_start()
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` spent executing items."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)

@@ -1,0 +1,148 @@
+"""Kernel memory and pinnable-memory accounting.
+
+Two memory subsystems matter to the paper's resource-exhaustion faults:
+
+* **Kernel allocation (skbufs).**  TCP allocates socket buffers (skbufs)
+  dynamically per packet.  The injected "kernel memory allocation fault"
+  makes these allocations fail for a period — the trap Mendosus installed
+  on skbuf allocation.  VIA pre-allocates its buffers at channel setup and
+  never touches this allocator on the data path.
+
+* **Pinnable physical memory.**  VIA registration pins pages.  Kernels cap
+  pinned pages at a fraction of physical memory (Linux 2.2: half); the
+  injected "memory pinning fault" lowers the effective threshold, making
+  new pin requests fail — which only hurts versions that pin dynamically
+  (VIA-PRESS-5's zero-copy file cache).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class AllocationError(Exception):
+    """Kernel memory allocation failed (ENOMEM)."""
+
+
+class PinError(Exception):
+    """Memory registration failed: out of pinnable physical pages."""
+
+
+class KernelMemory:
+    """The kernel's dynamic allocator as seen by the network stack."""
+
+    def __init__(self, total_bytes: int = 64 * 1024 * 1024):
+        self.total_bytes = total_bytes
+        self.allocated = 0
+        self._fault_active = False
+        self.failed_allocations = 0
+
+    # -- fault control ---------------------------------------------------
+    def inject_allocation_fault(self) -> None:
+        """All subsequent allocations fail until :meth:`clear_fault`."""
+        self._fault_active = True
+
+    def clear_fault(self) -> None:
+        self._fault_active = False
+
+    @property
+    def fault_active(self) -> bool:
+        return self._fault_active
+
+    # -- allocator ---------------------------------------------------------
+    def alloc(self, nbytes: int) -> bool:
+        """Try to allocate; returns False on ENOMEM (fault or exhaustion)."""
+        if nbytes < 0:
+            raise ValueError("allocation size must be >= 0")
+        if self._fault_active or self.allocated + nbytes > self.total_bytes:
+            self.failed_allocations += 1
+            return False
+        self.allocated += nbytes
+        return True
+
+    def free(self, nbytes: int) -> None:
+        if nbytes > self.allocated:
+            raise ValueError("freeing more than allocated")
+        self.allocated -= nbytes
+
+    def probe(self, nbytes: int) -> bool:
+        """Would an allocation of ``nbytes`` succeed right now?
+
+        The network data path uses this instead of paired alloc/free:
+        packet buffers live for microseconds, far below the simulation's
+        observable resolution, so only the *fault flag* (and gross
+        capacity) matters — exactly the hook Mendosus trapped.
+        """
+        if self._fault_active or self.allocated + nbytes > self.total_bytes:
+            self.failed_allocations += 1
+            return False
+        return True
+
+    @property
+    def available(self) -> int:
+        return 0 if self._fault_active else self.total_bytes - self.allocated
+
+
+class PinnableMemory:
+    """Pinned-page accounting with a kernel-imposed ceiling.
+
+    ``limit_fraction`` mirrors the Linux 2.2 rule of pinning at most half
+    of physical memory.  The fault injector lowers the *effective*
+    threshold (as the paper's modified cLAN driver did), failing new pin
+    requests while leaving existing registrations intact.
+    """
+
+    def __init__(
+        self,
+        physical_bytes: int = 206 * 1024 * 1024,
+        limit_fraction: float = 0.5,
+    ):
+        if not 0 < limit_fraction <= 1:
+            raise ValueError("limit_fraction must be in (0, 1]")
+        self.physical_bytes = physical_bytes
+        self.limit = int(physical_bytes * limit_fraction)
+        self.pinned = 0
+        self._fault_limit: Optional[int] = None
+        self.failed_pins = 0
+
+    # -- fault control ---------------------------------------------------
+    def inject_pin_fault(self, effective_limit: int = 0) -> None:
+        """Lower the pin ceiling; pins above it fail until cleared.
+
+        ``effective_limit=0`` means every *new* pin request fails, the
+        harshest setting (already-pinned memory is untouched).
+        """
+        self._fault_limit = effective_limit
+
+    def clear_fault(self) -> None:
+        self._fault_limit = None
+
+    @property
+    def fault_active(self) -> bool:
+        return self._fault_limit is not None
+
+    @property
+    def effective_limit(self) -> int:
+        if self._fault_limit is None:
+            return self.limit
+        return min(self.limit, self._fault_limit)
+
+    # -- pin/unpin ---------------------------------------------------------
+    def pin(self, nbytes: int) -> bool:
+        """Register (pin) ``nbytes``; False when over the effective limit."""
+        if nbytes < 0:
+            raise ValueError("pin size must be >= 0")
+        if self.pinned + nbytes > self.effective_limit:
+            self.failed_pins += 1
+            return False
+        self.pinned += nbytes
+        return True
+
+    def unpin(self, nbytes: int) -> None:
+        if nbytes > self.pinned:
+            raise ValueError("unpinning more than pinned")
+        self.pinned -= nbytes
+
+    @property
+    def headroom(self) -> int:
+        return max(0, self.effective_limit - self.pinned)

@@ -1,0 +1,55 @@
+"""PRESS: the cluster-based locality-conscious web server under study."""
+
+from .analysis import CapacityEstimate, estimate_capacity
+from .cache import FileCache
+from .cluster import (
+    FAST_SCALE,
+    FULL_SCALE,
+    SMOKE_SCALE,
+    STANDARD_SCALE,
+    ExperimentScale,
+    PressCluster,
+)
+from .config import (
+    ALL_VERSIONS,
+    ALL_VERSIONS_EXTENDED,
+    IDEAL_PRESS,
+    PAPER_TABLE1_THROUGHPUT,
+    TCP_PRESS,
+    TCP_PRESS_HB,
+    VIA_PRESS_0,
+    VIA_PRESS_3,
+    VIA_PRESS_5,
+    HttpCosts,
+    PressConfig,
+)
+from .http import HttpPort, HttpRequest
+from .membership import Membership
+from .server import PressServer
+
+__all__ = [
+    "PressCluster",
+    "PressServer",
+    "PressConfig",
+    "HttpCosts",
+    "Membership",
+    "FileCache",
+    "HttpPort",
+    "HttpRequest",
+    "ExperimentScale",
+    "FULL_SCALE",
+    "STANDARD_SCALE",
+    "FAST_SCALE",
+    "SMOKE_SCALE",
+    "CapacityEstimate",
+    "estimate_capacity",
+    "ALL_VERSIONS",
+    "ALL_VERSIONS_EXTENDED",
+    "IDEAL_PRESS",
+    "PAPER_TABLE1_THROUGHPUT",
+    "TCP_PRESS",
+    "TCP_PRESS_HB",
+    "VIA_PRESS_0",
+    "VIA_PRESS_3",
+    "VIA_PRESS_5",
+]

@@ -1,0 +1,64 @@
+"""Analytic capacity estimation for a PRESS configuration.
+
+The experiments need to offer load relative to each version's saturation
+point (the paper drove the server to a stable near-peak regime).  Rather
+than hunting for the knee empirically in every run, we estimate cluster
+capacity from the cost model: per-request expected CPU demand across the
+cluster, divided into the aggregate CPU supply.
+
+The estimate deliberately mirrors the simulated request flow:
+
+* every request pays parse + respond on its initial node;
+* a fraction ``(n-1)/n`` is forwarded (the designated cacher is uniform
+  over members once the directory converges), paying one small message
+  pair and one file-data message pair;
+* a small steady-state miss rate pays disk+insert+broadcast, negligible
+  for capacity once the cooperative cache covers the working set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..transports.base import Message
+from ..workload.trace import FileSet
+from .config import PressConfig
+
+
+@dataclass(frozen=True)
+class CapacityEstimate:
+    """Cluster capacity breakdown (all values in seconds or req/s)."""
+
+    per_request_cpu: float
+    forward_fraction: float
+    cluster_capacity: float
+
+    def offered_rate(self, utilization: float) -> float:
+        return self.cluster_capacity * utilization
+
+
+def estimate_capacity(
+    config: PressConfig, fileset: FileSet, n_nodes: int
+) -> CapacityEstimate:
+    """Expected saturation throughput of an ``n_nodes`` cluster."""
+    costs = config.transport_costs
+    http = config.http
+    size = fileset.file_bytes
+
+    fwd_msg = Message("fwd-req", config.forward_msg_bytes)
+    data_msg = Message("file-data", size)
+
+    forward_fraction = (n_nodes - 1) / n_nodes if n_nodes > 1 else 0.0
+    base = http.parse + http.respond(size)
+    forward = (
+        costs.send_cost(fwd_msg)
+        + costs.recv_cost(fwd_msg)
+        + costs.send_cost(data_msg)
+        + costs.recv_cost(data_msg)
+    )
+    per_request = base + forward_fraction * forward
+    return CapacityEstimate(
+        per_request_cpu=per_request,
+        forward_fraction=forward_fraction,
+        cluster_capacity=n_nodes / per_request,
+    )

@@ -1,0 +1,251 @@
+"""Discrete-event simulation engine.
+
+The engine owns the virtual clock and an event heap.  Everything in the
+reproduction — network links, TCP retransmission timers, heartbeat protocols,
+fault injection schedules, client request streams — is driven by callbacks
+scheduled on a single :class:`Engine`.
+
+Two scheduling styles are supported:
+
+* **Callbacks** (`call_at` / `call_after`) — the hot path.  Per-message
+  plumbing in the network and transport layers uses plain callbacks to keep
+  per-event overhead low.
+* **Processes** (:mod:`repro.sim.process`) — generator coroutines layered on
+  top of :class:`Event`, used for control logic that reads better as
+  sequential code (client sessions, fault scenarios, server recovery).
+
+Determinism: events scheduled for the same timestamp fire in scheduling
+order (a monotonically increasing sequence number breaks ties), so a run is
+a pure function of its configuration and RNG seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable, Optional
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation machinery."""
+
+
+class StopSimulation(Exception):
+    """Raised inside a callback to halt :meth:`Engine.run` immediately."""
+
+
+class Timer:
+    """Handle for a scheduled callback.
+
+    A ``Timer`` can be cancelled until it fires; cancellation is O(1) — the
+    heap entry is tombstoned rather than removed.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "fired")
+
+    def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent."""
+        self.cancelled = True
+        # Drop references so cancelled timers do not pin large objects
+        # while they wait to be popped from the heap.
+        self.fn = None
+        self.args = ()
+
+    @property
+    def active(self) -> bool:
+        """Still pending: neither cancelled nor already fired."""
+        return not self.cancelled and not self.fired
+
+    def __lt__(self, other: "Timer") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "active"
+        return f"<Timer t={self.time:.6f} seq={self.seq} {state}>"
+
+
+class Event:
+    """A one-shot occurrence that callbacks can wait on.
+
+    An event is *triggered* at most once, with either a value (``succeed``)
+    or an exception (``fail``).  Callbacks added after triggering fire
+    immediately (synchronously), which keeps waiter logic free of
+    time-of-check races.
+    """
+
+    __slots__ = ("engine", "_callbacks", "triggered", "ok", "value")
+
+    def __init__(self, engine: "Engine"):
+        self.engine = engine
+        self._callbacks: Optional[list] = []
+        self.triggered = False
+        self.ok = False
+        self.value: Any = None
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event triggers (now, if already has)."""
+        if self.triggered:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        self._trigger(True, value)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception for waiters to re-raise."""
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exc!r}")
+        self._trigger(False, exc)
+        return self
+
+    def _trigger(self, ok: bool, value: Any) -> None:
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        self.triggered = True
+        self.ok = ok
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, None
+        for fn in callbacks:
+            fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self.triggered:
+            return "<Event pending>"
+        kind = "ok" if self.ok else "failed"
+        return f"<Event {kind} value={self.value!r}>"
+
+
+class Engine:
+    """The simulation core: a virtual clock plus an event heap."""
+
+    def __init__(self, start_time: float = 0.0):
+        self.now: float = start_time
+        self._heap: list[Timer] = []
+        self._seq: int = 0
+        self._running = False
+        self._events_processed: int = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def call_at(self, time: float, fn: Callable, *args: Any) -> Timer:
+        """Schedule ``fn(*args)`` at absolute virtual ``time``.
+
+        Scheduling in the past is an error: it would silently reorder
+        causality.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time:.6f} < now={self.now:.6f}"
+            )
+        if math.isnan(time):
+            raise SimulationError("cannot schedule at NaN time")
+        self._seq += 1
+        timer = Timer(time, self._seq, fn, args)
+        heapq.heappush(self._heap, timer)
+        return timer
+
+    def call_after(self, delay: float, fn: Callable, *args: Any) -> Timer:
+        """Schedule ``fn(*args)`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.call_at(self.now + delay, fn, *args)
+
+    def call_soon(self, fn: Callable, *args: Any) -> Timer:
+        """Schedule ``fn(*args)`` at the current time, after pending events."""
+        return self.call_at(self.now, fn, *args)
+
+    def event(self) -> Event:
+        """Create a fresh untriggered :class:`Event` bound to this engine."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """An event that succeeds ``delay`` seconds from now."""
+        ev = Event(self)
+        self.call_after(delay, ev.succeed, value)
+        return ev
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next live event, or ``inf`` if none remain."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else math.inf
+
+    def step(self) -> bool:
+        """Run the single next event.  Returns False when the heap is empty."""
+        heap = self._heap
+        while heap:
+            timer = heapq.heappop(heap)
+            if timer.cancelled:
+                continue
+            self.now = timer.time
+            self._events_processed += 1
+            timer.fired = True
+            timer.fn(*timer.args)
+            return True
+        return False
+
+    def run(self, until: float = math.inf) -> None:
+        """Run events in order until the heap drains or ``until`` is reached.
+
+        The clock is advanced to ``until`` (if finite) even when the heap
+        drains earlier, so back-to-back ``run`` calls observe a continuous
+        timeline.
+        """
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        try:
+            heap = self._heap
+            while heap:
+                timer = heap[0]
+                if timer.cancelled:
+                    heapq.heappop(heap)
+                    continue
+                if timer.time > until:
+                    break
+                heapq.heappop(heap)
+                self.now = timer.time
+                self._events_processed += 1
+                timer.fired = True
+                try:
+                    timer.fn(*timer.args)
+                except StopSimulation:
+                    return
+            if until is not math.inf and until > self.now:
+                self.now = until
+        finally:
+            self._running = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (profiling / test aid)."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Count of live (non-cancelled) timers in the heap."""
+        return sum(1 for t in self._heap if not t.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Engine t={self.now:.6f} pending={self.pending}>"

@@ -1,0 +1,183 @@
+"""Measurement instruments: throughput buckets, annotated timelines.
+
+Phase 1 of the paper's methodology is entirely about *throughput as a
+function of time* around a fault-injection event (Figures 2-5).  The
+:class:`ThroughputMonitor` bins request completions into fixed-width
+buckets; the :class:`Annotations` log records the instants the system
+detected/reconfigured/recovered, which phase 2 uses to delimit the seven
+stages without curve fitting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .engine import Engine
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """A named instant on the experiment timeline."""
+
+    time: float
+    label: str
+    detail: str = ""
+
+
+class Annotations:
+    """Ordered log of named instants (fault injected, detected, ...)."""
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+        self.entries: List[Annotation] = []
+
+    def mark(self, label: str, detail: str = "") -> None:
+        self.entries.append(Annotation(self.engine.now, label, detail))
+
+    def first(self, label: str) -> Optional[Annotation]:
+        for entry in self.entries:
+            if entry.label == label:
+                return entry
+        return None
+
+    def last(self, label: str) -> Optional[Annotation]:
+        for entry in reversed(self.entries):
+            if entry.label == label:
+                return entry
+        return None
+
+    def all(self, label: str) -> List[Annotation]:
+        return [e for e in self.entries if e.label == label]
+
+    def times(self, label: str) -> List[float]:
+        return [e.time for e in self.entries if e.label == label]
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class ThroughputMonitor:
+    """Bins successes and failures into fixed-width time buckets.
+
+    ``success``/``failure`` record one completed or failed request at the
+    current simulation time.  ``series`` converts the bins into
+    (bucket_start, requests_per_second) pairs — the exact data behind the
+    paper's timeline figures.
+    """
+
+    def __init__(self, engine: Engine, bucket_width: float = 1.0):
+        if bucket_width <= 0:
+            raise ValueError("bucket_width must be positive")
+        self.engine = engine
+        self.bucket_width = bucket_width
+        self._ok: Dict[int, int] = {}
+        self._failed: Dict[int, int] = {}
+        self.total_ok = 0
+        self.total_failed = 0
+
+    def _bucket(self) -> int:
+        return int(self.engine.now / self.bucket_width)
+
+    def success(self, n: int = 1) -> None:
+        b = self._bucket()
+        self._ok[b] = self._ok.get(b, 0) + n
+        self.total_ok += n
+
+    def failure(self, n: int = 1) -> None:
+        b = self._bucket()
+        self._failed[b] = self._failed.get(b, 0) + n
+        self.total_failed += n
+
+    @property
+    def total(self) -> int:
+        return self.total_ok + self.total_failed
+
+    def availability(self) -> float:
+        """Fraction of requests served successfully over the whole run."""
+        if self.total == 0:
+            return 1.0
+        return self.total_ok / self.total
+
+    def series(
+        self, start: float = 0.0, end: Optional[float] = None
+    ) -> List[Tuple[float, float]]:
+        """(bucket_start_time, throughput req/s) for every bucket in range.
+
+        Buckets with no completions appear explicitly with rate 0 so stall
+        periods are visible in the series.
+        """
+        if end is None:
+            end = self.engine.now
+        first = int(start / self.bucket_width)
+        last = int(math.ceil(end / self.bucket_width))
+        width = self.bucket_width
+        return [
+            (b * width, self._ok.get(b, 0) / width) for b in range(first, last)
+        ]
+
+    def failure_series(
+        self, start: float = 0.0, end: Optional[float] = None
+    ) -> List[Tuple[float, float]]:
+        if end is None:
+            end = self.engine.now
+        first = int(start / self.bucket_width)
+        last = int(math.ceil(end / self.bucket_width))
+        width = self.bucket_width
+        return [
+            (b * width, self._failed.get(b, 0) / width)
+            for b in range(first, last)
+        ]
+
+    def mean_rate(self, start: float, end: float) -> float:
+        """Average successful throughput (req/s) over [start, end)."""
+        if end <= start:
+            return 0.0
+        first = int(start / self.bucket_width)
+        last = int(math.ceil(end / self.bucket_width))
+        count = sum(self._ok.get(b, 0) for b in range(first, last))
+        return count / ((last - first) * self.bucket_width)
+
+
+@dataclass
+class Timeline:
+    """A completed phase-1 measurement: series + annotations + metadata."""
+
+    version: str
+    fault: str
+    bucket_width: float
+    series: List[Tuple[float, float]] = field(default_factory=list)
+    failures: List[Tuple[float, float]] = field(default_factory=list)
+    annotations: List[Annotation] = field(default_factory=list)
+    normal_throughput: float = 0.0
+    availability: float = 1.0
+
+    def annotation_time(self, label: str) -> Optional[float]:
+        for entry in self.annotations:
+            if entry.label == label:
+                return entry.time
+        return None
+
+    def annotation_times(self, label: str) -> List[float]:
+        return [e.time for e in self.annotations if e.label == label]
+
+    def rate_at(self, time: float) -> float:
+        """Throughput of the bucket containing ``time`` (0 outside range)."""
+        for start, rate in self.series:
+            if start <= time < start + self.bucket_width:
+                return rate
+        return 0.0
+
+    def mean_rate(self, start: float, end: float) -> float:
+        picked = [
+            rate
+            for t, rate in self.series
+            if t + self.bucket_width > start and t < end
+        ]
+        if not picked:
+            return 0.0
+        return sum(picked) / len(picked)

@@ -1,0 +1,208 @@
+"""Generator-coroutine processes on top of the event engine.
+
+A process is a generator that ``yield``s things to wait on:
+
+* a float/int — sleep that many simulated seconds,
+* an :class:`~repro.sim.engine.Event` — resume when it triggers (the yield
+  expression evaluates to the event's value; a failed event re-raises its
+  exception inside the generator),
+* another :class:`Process` — wait for it to finish (its return value is the
+  yield result),
+* ``None`` — yield the scheduler for one event-loop turn.
+
+Processes are used for control-flow-heavy logic: client sessions, fault
+scenarios, server recovery sequences.  The per-message data path stays on
+plain callbacks for speed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from .engine import Engine, Event, SimulationError
+
+
+class Interrupted(Exception):
+    """Raised inside a process when another process interrupts it."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process:
+    """A running generator coroutine.
+
+    A ``Process`` is itself awaitable by other processes: it exposes the
+    same ``add_callback`` interface as :class:`Event` and triggers when the
+    generator returns (value = the generator's return value) or raises
+    (failure).
+    """
+
+    __slots__ = ("engine", "name", "_gen", "_done", "_waiting_on", "_defunct")
+
+    def __init__(self, engine: Engine, gen: Generator, name: str = "?"):
+        self.engine = engine
+        self.name = name
+        self._gen = gen
+        self._done = Event(engine)
+        self._waiting_on: Optional[Event] = None
+        self._defunct = False
+        engine.call_soon(self._resume, None, None)
+
+    # -- awaitable interface ------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._done.triggered
+
+    @property
+    def ok(self) -> bool:
+        return self._done.ok
+
+    @property
+    def value(self) -> Any:
+        return self._done.value
+
+    @property
+    def alive(self) -> bool:
+        return not self._done.triggered
+
+    def add_callback(self, fn) -> None:
+        self._done.add_callback(fn)
+
+    # -- control -------------------------------------------------------
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupted` into the process at its wait point."""
+        if not self.alive:
+            return
+        # Detach from whatever we were waiting on; the stale event callback
+        # checks ``_defunct`` via the token object pattern below.
+        self._waiting_on = None
+        self.engine.call_soon(self._throw, Interrupted(cause))
+
+    def _throw(self, exc: BaseException) -> None:
+        if not self.alive:
+            return
+        try:
+            target = self._gen.throw(exc)
+        except StopIteration as stop:
+            self._done.succeed(stop.value)
+            return
+        except Interrupted as leaked:
+            self._done.fail(leaked)
+            return
+        except Exception as err:
+            self._done.fail(err)
+            return
+        self._wait_on(target)
+
+    # -- scheduling internals -------------------------------------------
+    def _resume(self, event: Optional[Event], token: Any) -> None:
+        # A stale wake-up: the process moved on (e.g. was interrupted while
+        # sleeping).  ``token`` identifies the wait this callback belongs to.
+        if token is not None and token is not self._waiting_on:
+            return
+        if not self.alive:
+            return
+        self._waiting_on = None
+        try:
+            if event is None:
+                target = self._gen.send(None)
+            elif event.ok:
+                target = self._gen.send(event.value)
+            else:
+                target = self._gen.throw(event.value)
+        except StopIteration as stop:
+            self._done.succeed(stop.value)
+            return
+        except Exception as err:
+            self._done.fail(err)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        engine = self.engine
+        if target is None:
+            self._waiting_on = wait = engine.event()
+            wait.add_callback(lambda ev, tok=wait: self._resume(ev, tok))
+            engine.call_soon(wait.succeed, None)
+        elif isinstance(target, (int, float)):
+            if target < 0:
+                self._fail_now(SimulationError(f"negative sleep {target!r}"))
+                return
+            self._waiting_on = wait = engine.event()
+            wait.add_callback(lambda ev, tok=wait: self._resume(ev, tok))
+            engine.call_after(target, wait.succeed, None)
+        elif isinstance(target, Event):
+            self._waiting_on = target
+            target.add_callback(lambda ev, tok=target: self._resume(ev, tok))
+        elif isinstance(target, Process):
+            self._waiting_on = target._done
+            target._done.add_callback(
+                lambda ev, tok=target._done: self._resume(ev, tok)
+            )
+        else:
+            self._fail_now(
+                SimulationError(f"process {self.name!r} yielded {target!r}")
+            )
+
+    def _fail_now(self, exc: Exception) -> None:
+        self._gen.close()
+        self._done.fail(exc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.triggered else "alive"
+        return f"<Process {self.name} {state}>"
+
+
+def spawn(engine: Engine, gen: Generator, name: str = "?") -> Process:
+    """Start ``gen`` as a process on ``engine``."""
+    return Process(engine, gen, name=name)
+
+
+def all_of(engine: Engine, waitables: list) -> Event:
+    """Event that succeeds when every waitable has triggered successfully.
+
+    Fails fast with the first failure.  The success value is the list of
+    individual values, in input order.
+    """
+    done = engine.event()
+    remaining = len(waitables)
+    values: list[Any] = [None] * remaining
+    if remaining == 0:
+        return done.succeed(values)
+
+    def on_done(index: int, ev) -> None:
+        nonlocal remaining
+        if done.triggered:
+            return
+        if not ev.ok:
+            done.fail(ev.value)
+            return
+        values[index] = ev.value
+        remaining -= 1
+        if remaining == 0:
+            done.succeed(values)
+
+    for i, w in enumerate(waitables):
+        w.add_callback(lambda ev, i=i: on_done(i, ev))
+    return done
+
+
+def any_of(engine: Engine, waitables: list) -> Event:
+    """Event that succeeds with ``(index, value)`` of the first success."""
+    done = engine.event()
+    if not waitables:
+        raise SimulationError("any_of needs at least one waitable")
+
+    def on_done(index: int, ev) -> None:
+        if done.triggered:
+            return
+        if ev.ok:
+            done.succeed((index, ev.value))
+        else:
+            done.fail(ev.value)
+
+    for i, w in enumerate(waitables):
+        w.add_callback(lambda ev, i=i: on_done(i, ev))
+    return done

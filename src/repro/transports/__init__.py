@@ -1,0 +1,43 @@
+"""Intra-cluster communication substrates: the common API, TCP, and VIA."""
+
+from .base import (
+    Channel,
+    CommError,
+    CorruptionKind,
+    FatalTransportError,
+    Message,
+    SendResult,
+    SendStatus,
+    SyncParameterError,
+    Transport,
+)
+from .costs import (
+    TCP_COSTS,
+    VIA0_COSTS,
+    VIA3_COSTS,
+    VIA5_COSTS,
+    TransportCosts,
+)
+from .tcp import TcpParams, TcpTransport
+from .via import ViaParams, ViaTransport
+
+__all__ = [
+    "Transport",
+    "Channel",
+    "Message",
+    "SendResult",
+    "SendStatus",
+    "CorruptionKind",
+    "CommError",
+    "SyncParameterError",
+    "FatalTransportError",
+    "TransportCosts",
+    "TCP_COSTS",
+    "VIA0_COSTS",
+    "VIA3_COSTS",
+    "VIA5_COSTS",
+    "TcpTransport",
+    "TcpParams",
+    "ViaTransport",
+    "ViaParams",
+]

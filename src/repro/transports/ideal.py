@@ -1,0 +1,51 @@
+"""The paper's §7 speculative communication layer, made concrete.
+
+The Discussion section argues the right layer for high-performance,
+high-availability cluster services should be *message-based*,
+*single-copy*, *pre-allocate channel resources*, and *report errors in a
+manner consistent with the fabric's fault model*.  VIA already delivers
+the first three and the fail-stop half of the fourth; its weakness in
+the study is error *containment*: bad descriptor parameters surface as
+asynchronous completion errors that PRESS can only treat as fatal — and
+remote-memory writes diffuse them to both endpoints.
+
+:class:`IdealTransport` closes that gap: descriptors are validated
+synchronously at post time (pointer bounds and length checks against the
+registered region — cheap, since all buffers are pre-registered), so a
+bad parameter is returned to the *caller* like TCP's EFAULT while the
+channel, the peer, and the process all survive.  Everything else is
+inherited from the VIA provider: pre-allocated pinned channels,
+credit flow control, hardware fail-stop connection breaks.
+
+This is an extension beyond the paper (its future-work direction);
+``benchmarks/test_ideal_layer.py`` quantifies what it buys.
+"""
+
+from __future__ import annotations
+
+from .base import Message, SendResult, SendStatus, SyncParameterError
+from .via.channel import ViaChannel
+from .via.transport import ViaTransport
+
+
+class IdealTransport(ViaTransport):
+    """VIA plus synchronous descriptor validation (§7's wish list)."""
+
+    preserves_boundaries = True
+
+    def __init__(self, *args, **kwargs):
+        # Remote writes stay available for performance; with post-time
+        # validation a bad descriptor never reaches the wire, so the
+        # both-endpoint error diffusion cannot happen.
+        super().__init__(*args, **kwargs)
+        self.rejected_posts = 0
+
+    def _handle_corrupted_post(
+        self, channel: ViaChannel, msg: Message
+    ) -> SendResult:
+        """Validate at post time: reject the call, keep everything alive."""
+        self.rejected_posts += 1
+        return SendResult(
+            SendStatus.SYNC_ERROR,
+            error=SyncParameterError("VIP_INVALID_PARAMETER"),
+        )

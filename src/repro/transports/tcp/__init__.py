@@ -1,0 +1,14 @@
+"""Simulated kernel TCP: byte streams, retransmission, skbuf dependence."""
+
+from .connection import StreamRecord, TcpEndpoint, next_generation
+from .params import DEFAULT_TCP_PARAMS, TcpParams
+from .transport import TcpTransport
+
+__all__ = [
+    "TcpTransport",
+    "TcpEndpoint",
+    "TcpParams",
+    "DEFAULT_TCP_PARAMS",
+    "StreamRecord",
+    "next_generation",
+]

@@ -1,0 +1,376 @@
+"""TCP connection endpoints: byte-stream framing, windows, retransmission.
+
+The model keeps TCP's *behavioural* contract rather than its exact wire
+format:
+
+* messages are framed onto a byte stream (header + body); the stream is
+  segmented, windowed, and cumulatively ACKed;
+* loss is detected only by retransmission timeout, with exponential
+  backoff — during a fail-stop fault the connection simply stalls,
+  buffers fill, and the sending application blocks (the paper's Figure 2
+  behaviour for TCP-PRESS);
+* every data segment and ACK needs a kernel buffer (skbuf); the injected
+  kernel-memory fault makes outbound segments queue in the OS and inbound
+  segments drop (Figure 4 behaviour);
+* a corrupted send (off-by-N pointer/size) poisons the *stream*: framing
+  desynchronizes and the receiver sees garbage headers on subsequent
+  messages — TCP's byte-stream vulnerability the paper calls out.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional
+
+from ...net.packet import Frame
+from ...sim.engine import Engine, Event, Timer
+from ..base import (
+    Channel,
+    CorruptionKind,
+    Message,
+    SendResult,
+    SendStatus,
+    SyncParameterError,
+)
+from .params import TcpParams
+
+_conn_gens = itertools.count(1)
+
+
+def next_generation() -> int:
+    """A cluster-unique connection generation (ISN analogue)."""
+    return next(_conn_gens)
+
+
+@dataclass
+class SegPayload:
+    """Payload of a ``tcp-seg`` frame."""
+
+    gen: int
+    seq: int
+    length: int
+    completed: List["StreamRecord"] = field(default_factory=list)
+
+
+@dataclass
+class AckPayload:
+    gen: int
+    ack_seq: int
+
+
+@dataclass
+class CtrlPayload:
+    """SYN / SYNACK / RST / CLOSE control payload."""
+
+    gen: int
+
+
+@dataclass
+class StreamRecord:
+    """One framed application message within the byte stream.
+
+    ``declared`` is the length written in the framing header; ``actual``
+    is how many body bytes the (possibly corrupted) send call really
+    produced.  A mismatch shifts every subsequent header — the stream
+    skew.
+    """
+
+    msg: Message
+    declared: int
+    actual: int
+    end_seq: int = 0  # stream offset one past this record's last byte
+
+    @property
+    def wire_bytes(self) -> int:
+        return self.actual
+
+    @property
+    def skew(self) -> int:
+        return self.actual - self.declared
+
+
+class FramingViolation(Exception):
+    """Receiver-side: a framing header failed validation."""
+
+
+class TcpEndpoint(Channel):
+    """One side of a TCP connection between two cluster nodes."""
+
+    def __init__(self, transport, peer: str, gen: int, params: TcpParams):
+        super().__init__(transport, peer)
+        self.params = params
+        self.gen = gen
+        self.established = False
+        self.connect_cb = None  # set by Transport.connect
+
+        # -- transmit state ------------------------------------------------
+        self.stream_len = 0  # bytes enqueued so far
+        self.sent_seq = 0  # next byte to transmit
+        self.acked_seq = 0  # cumulative ACK from peer
+        self.sndbuf_used = 0
+        self._unacked: Deque[StreamRecord] = deque()
+        self._pending_boundaries: Deque[StreamRecord] = deque()
+        self._blocked_waiters: List[Event] = []
+        self._rto_timer: Optional[Timer] = None
+        self._rto = params.rto_initial
+        self._stalled_since: Optional[float] = None
+        self._alloc_retry: Optional[Timer] = None
+        self.retransmissions = 0
+
+        # -- receive state ----------------------------------------------------
+        self.expected_seq = 0
+        self.rcvbuf_used = 0
+        self.rx_skew = 0
+        self.frozen_records: Deque[StreamRecord] = deque()
+
+    # ------------------------------------------------------------------
+    # Application send path
+    # ------------------------------------------------------------------
+    def send(self, msg: Message) -> SendResult:
+        """Frame ``msg`` onto the stream.
+
+        NULL-pointer corruption is caught synchronously by the kernel
+        (copy_from_user faults → EFAULT) and the message never enters the
+        stream.  Off-by-N corruptions are *valid* reads of wrong bytes —
+        the kernel cannot tell, so the poisoned bytes go out.
+        """
+        if self.broken:
+            return SendResult(SendStatus.BROKEN)
+
+        msg = self.transport._apply_interposers(msg)
+        self.transport._charge_cpu(self.transport.costs.send_cost(msg))
+
+        if msg.corruption is CorruptionKind.NULL_POINTER:
+            return SendResult(
+                SendStatus.SYNC_ERROR, error=SyncParameterError("EFAULT")
+            )
+
+        header = self.params.header_size
+        declared = header + msg.size
+        if declared > self.params.rcvbuf_bytes:
+            # A framed message must fit the peer's receive buffer to be
+            # assembled — applications stream anything bigger (as PRESS
+            # does with caching info).
+            raise ValueError(
+                f"message of {declared} bytes exceeds the receive buffer"
+                f" ({self.params.rcvbuf_bytes}); chunk it"
+            )
+        if msg.corruption is CorruptionKind.OFF_BY_N_SIZE:
+            actual = max(0, declared + msg.skew)
+        else:
+            actual = declared
+        record = StreamRecord(msg=msg, declared=declared, actual=actual)
+        self.stream_len += record.wire_bytes
+        record.end_seq = self.stream_len
+        self.sndbuf_used += record.wire_bytes
+        self._unacked.append(record)
+        self._pending_boundaries.append(record)
+        self._pump()
+
+        if self.sndbuf_used > self.params.sndbuf_bytes:
+            waiter = self.engine.event()
+            self._blocked_waiters.append(waiter)
+            return SendResult(SendStatus.BLOCKED, unblock_event=waiter)
+        return SendResult(SendStatus.SENT)
+
+    # ------------------------------------------------------------------
+    # Segment pump (kernel TX path)
+    # ------------------------------------------------------------------
+    def _pump(self) -> None:
+        if self.broken or not self.established:
+            return
+        params = self.params
+        transport = self.transport
+        while self.sent_seq < self.stream_len:
+            inflight = self.sent_seq - self.acked_seq
+            if inflight >= params.window_bytes:
+                break
+            seg_len = min(
+                params.segment_size,
+                self.stream_len - self.sent_seq,
+                params.window_bytes - inflight,
+            )
+            if not transport.kernel_memory.probe(seg_len):
+                # Out of kernel memory: the packet waits inside the OS and
+                # the stack retries allocation later.
+                self._schedule_alloc_retry()
+                return
+            completed = [
+                r
+                for r in self._unacked
+                if self.sent_seq < r.end_seq <= self.sent_seq + seg_len
+            ]
+            payload = SegPayload(
+                gen=self.gen,
+                seq=self.sent_seq,
+                length=seg_len,
+                completed=completed,
+            )
+            frame = Frame(
+                src=self.local,
+                dst=self.peer,
+                size=seg_len,
+                kind="tcp-seg",
+                payload=payload,
+            )
+            transport.nic.send(frame)  # silent loss: TCP learns via RTO only
+            self.sent_seq += seg_len
+            if self._stalled_since is None:
+                self._stalled_since = self.engine.now
+        self._arm_rto()
+
+    def _schedule_alloc_retry(self) -> None:
+        if self._alloc_retry is not None and self._alloc_retry.active:
+            return
+        self._alloc_retry = self.engine.call_after(
+            self.params.alloc_retry_interval, self._alloc_retry_fire
+        )
+
+    def _alloc_retry_fire(self) -> None:
+        self._alloc_retry = None
+        if not self.broken:
+            self._pump()
+
+    # ------------------------------------------------------------------
+    # Retransmission
+    # ------------------------------------------------------------------
+    def _arm_rto(self) -> None:
+        if self.sent_seq == self.acked_seq:
+            self._cancel_rto()
+            self._stalled_since = None
+            return
+        if self._rto_timer is None or not self._rto_timer.active:
+            self._rto_timer = self.engine.call_after(self._rto, self._on_rto)
+
+    def _cancel_rto(self) -> None:
+        if self._rto_timer is not None:
+            self._rto_timer.cancel()
+            self._rto_timer = None
+
+    def _on_rto(self) -> None:
+        self._rto_timer = None
+        if self.broken:
+            return
+        if (
+            self._stalled_since is not None
+            and self.engine.now - self._stalled_since
+            >= self.params.connection_timeout
+        ):
+            # Minutes of failed retries: the kernel finally gives up.
+            self.transport._endpoint_broken(self, "etimedout")
+            return
+        # Go-back-N: everything past the cumulative ACK was (potentially)
+        # lost; rewind and resend with a doubled timeout.
+        self.retransmissions += 1
+        self.sent_seq = self.acked_seq
+        self._rto = min(self._rto * 2, self.params.rto_max)
+        self._pump()
+        self._arm_rto()
+
+    # ------------------------------------------------------------------
+    # Inbound (kernel RX path) — called by the owning transport
+    # ------------------------------------------------------------------
+    def handle_segment(self, payload: SegPayload) -> None:
+        params = self.params
+        transport = self.transport
+        if not transport.kernel_memory.probe(payload.length):
+            return  # inbound packet dropped: no skbuf at the faulty node
+        if payload.seq != self.expected_seq:
+            if payload.seq < self.expected_seq:
+                self._send_ack()  # duplicate: re-ACK to resync the sender
+            return  # out-of-order after loss: dropped, sender will rewind
+        if self.rcvbuf_used + payload.length > params.rcvbuf_bytes:
+            return  # receiver application is not draining; exert backpressure
+        self.expected_seq += payload.length
+        self.rcvbuf_used += payload.length
+        for record in payload.completed:
+            self._record_complete(record)
+        self._send_ack()
+
+    def _send_ack(self) -> None:
+        transport = self.transport
+        if not transport.kernel_memory.probe(self.params.ack_bytes):
+            return  # even ACKs need buffers; the faulty node goes mute
+        frame = Frame(
+            src=self.local,
+            dst=self.peer,
+            size=self.params.ack_bytes,
+            kind="tcp-ack",
+            payload=AckPayload(gen=self.gen, ack_seq=self.expected_seq),
+        )
+        transport.nic.send(frame)
+
+    def _record_complete(self, record: StreamRecord) -> None:
+        """A whole framed message has been assembled in the receive buffer."""
+        msg = record.msg
+        if self.params.boundary_preserving:
+            # Ablation mode: message boundaries contain the damage — the
+            # corrupted message is detected (length check) and dropped;
+            # the connection and the process survive.
+            if (
+                record.skew != 0
+                or msg.corruption is CorruptionKind.OFF_BY_N_POINTER
+            ):
+                self.transport.framing_errors += 1
+                self.consume(record)
+                return
+            self.transport._deliver_record(self, record)
+            return
+        if self.rx_skew != 0 or msg.corruption is CorruptionKind.OFF_BY_N_POINTER:
+            # The framing header either sits at a shifted offset (stream
+            # skew) or was read from a bogus pointer: its magic fails
+            # validation.  The byte stream is garbage from here on.
+            self.transport._framing_violation(self, record)
+            return
+        self.rx_skew += record.skew
+        self.transport._deliver_record(self, record)
+
+    def consume(self, record: StreamRecord) -> None:
+        """The application took delivery; free the receive-buffer bytes."""
+        self.rcvbuf_used = max(0, self.rcvbuf_used - record.wire_bytes)
+
+    def handle_ack(self, payload: AckPayload) -> None:
+        if payload.ack_seq <= self.acked_seq:
+            return
+        self.acked_seq = min(payload.ack_seq, self.stream_len)
+        while self._unacked and self._unacked[0].end_seq <= self.acked_seq:
+            record = self._unacked.popleft()
+            self.sndbuf_used -= record.wire_bytes
+        # Forward progress: reset backoff and the stall clock.
+        self._rto = self.params.rto_initial
+        self._stalled_since = None
+        self._cancel_rto()
+        if self.sent_seq < self.acked_seq:
+            self.sent_seq = self.acked_seq
+        self._maybe_unblock()
+        self._pump()
+
+    def _maybe_unblock(self) -> None:
+        lowwater = self.params.sndbuf_bytes * self.params.unblock_lowwater
+        if self.sndbuf_used <= lowwater and self._blocked_waiters:
+            waiters, self._blocked_waiters = self._blocked_waiters, []
+            for w in waiters:
+                w.succeed()
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def mark_broken(self, reason: str) -> None:
+        """Local bookkeeping for a dead connection (no wire activity)."""
+        if self.broken:
+            return
+        self.broken = True
+        self.break_reason = reason
+        self._cancel_rto()
+        if self._alloc_retry is not None:
+            self._alloc_retry.cancel()
+            self._alloc_retry = None
+        # Blocked senders wake up; their next send() sees BROKEN.
+        waiters, self._blocked_waiters = self._blocked_waiters, []
+        for w in waiters:
+            w.succeed()
+
+    def close(self) -> None:
+        self.transport.close_channel(self.peer)

@@ -1,0 +1,50 @@
+"""Tunables of the simulated kernel TCP stack."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TcpParams:
+    """Kernel TCP knobs, defaulted to a Linux-2.2-era configuration.
+
+    The values that drive the paper's observed behaviour:
+
+    * ``rto_initial``/``rto_max``/``connection_timeout`` — TCP assumes
+      packet loss is transient congestion, so it retries with exponential
+      backoff for *minutes* before giving up; connection death (the
+      reconfiguration trigger for TCP-PRESS) takes ``connection_timeout``
+      (the paper: "on order of 10-15 minutes").
+    * ``sndbuf_bytes``/``rcvbuf_bytes`` — socket buffering; once a peer
+      stalls these fill and the sending main loop blocks.
+    * per-segment kernel buffer (skbuf) allocation — the hook the
+      kernel-memory fault trips.
+    """
+
+    segment_size: int = 8192
+    header_size: int = 8  # PRESS framing header: magic + type + length
+    sndbuf_bytes: int = 65536
+    rcvbuf_bytes: int = 65536
+    window_bytes: int = 65536
+    rto_initial: float = 0.2
+    # Exponential-backoff cap (Linux 2.2 caps at 120s; 60s keeps the
+    # compressed experiment windows readable).  This cap is what makes
+    # TCP-PRESS resume only "slightly after the component recovers"
+    # (Figure 2) and what delays RST-based crash detection long enough
+    # for a rebooted node's rejoin attempts to be disregarded (Figure 3).
+    rto_max: float = 60.0
+    connection_timeout: float = 720.0  # ~12 minutes of failed retries
+    ack_bytes: int = 40
+    alloc_retry_interval: float = 0.05
+    syn_retry_interval: float = 1.0
+    syn_max_retries: int = 5
+    unblock_lowwater: float = 0.5  # fraction of sndbuf to unblock senders
+    # ABLATION KNOB (default off = faithful TCP): pretend the transport
+    # preserved message boundaries, so an off-by-N fault corrupts only
+    # the affected message instead of desynchronizing the whole stream —
+    # quantifying the paper's byte-stream lesson (§7).
+    boundary_preserving: bool = False
+
+
+DEFAULT_TCP_PARAMS = TcpParams()

@@ -1,0 +1,13 @@
+"""Simulated VIA: user-level, message-based, pre-allocated, fail-stop."""
+
+from .channel import ViaChannel
+from .params import DEFAULT_VIA_PARAMS, ViaParams
+from .transport import ViaRegistrationError, ViaTransport
+
+__all__ = [
+    "ViaTransport",
+    "ViaChannel",
+    "ViaParams",
+    "DEFAULT_VIA_PARAMS",
+    "ViaRegistrationError",
+]

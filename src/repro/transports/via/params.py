@@ -1,0 +1,48 @@
+"""Tunables of the simulated VIA (VIPL over cLAN) layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ViaParams:
+    """VIA channel parameters.
+
+    The availability-relevant properties:
+
+    * ``credits`` receive descriptors and their buffers are **pre-allocated
+      and pinned at channel setup** — the data path never touches the
+      kernel allocator, which is why VIA shrugs off the kernel-memory
+      fault (Figure 4).
+    * ``buffer_bytes`` bounds the message size a descriptor can take;
+      PRESS sizes it to fit a whole file-data message (message
+      boundaries!).
+    * flow control is credit-based and implemented by the communication
+      library; when a peer stops returning credits (hang), senders block —
+      VIA's analogue of TCP's full socket buffers.
+    * ``connect_timeout``/retries govern VipConnectRequest.
+    """
+
+    credits: int = 32
+    buffer_bytes: int = 32768
+    credit_batch: int = 8
+    credit_flush_interval: float = 0.002
+    connect_retry_interval: float = 0.5
+    connect_max_retries: int = 5
+    completion_delay: float = 10e-6  # descriptor completion latency
+    credit_frame_bytes: int = 16
+    ctrl_frame_bytes: int = 64
+    send_ring_bytes: int = 262144
+    # PRESS's user-level per-peer send queue: when a peer stops
+    # returning credits, up to this many messages wait in application
+    # memory before the oldest are shed (their requests time out).
+    app_queue_limit: int = 256
+    # ABLATION KNOB (default off = faithful VIA): allocate send buffers
+    # dynamically from kernel memory instead of the pre-registered pool.
+    # Turning this on hands VIA exactly TCP's kernel-memory-exhaustion
+    # vulnerability — quantifying the paper's pre-allocation lesson (§7).
+    dynamic_buffers: bool = False
+
+
+DEFAULT_VIA_PARAMS = ViaParams()

@@ -1,0 +1,32 @@
+"""Client workload: synthetic trace + open-loop Poisson request streams."""
+
+from .client import CONNECT_TIMEOUT, REQUEST_TIMEOUT, ClientMachine, Workload
+from .trace import (
+    DEFAULT_FILE_BYTES,
+    DEFAULT_N_FILES,
+    DEFAULT_ZIPF_S,
+    FileSet,
+)
+from .tracefile import (
+    TraceEntry,
+    TraceReplayer,
+    load_trace,
+    save_trace,
+    synthesize_trace,
+)
+
+__all__ = [
+    "FileSet",
+    "ClientMachine",
+    "Workload",
+    "CONNECT_TIMEOUT",
+    "REQUEST_TIMEOUT",
+    "DEFAULT_N_FILES",
+    "DEFAULT_FILE_BYTES",
+    "DEFAULT_ZIPF_S",
+    "TraceEntry",
+    "TraceReplayer",
+    "load_trace",
+    "save_trace",
+    "synthesize_trace",
+]

@@ -1,0 +1,181 @@
+"""Open-loop Poisson clients with the paper's timeout discipline.
+
+Each client machine issues requests as a Poisson process, spreads them
+round-robin over the server nodes (round-robin DNS), and gives up on a
+request after ``request_timeout`` seconds (the paper: 2 s to connect,
+6 s to complete; we account a single end-to-end deadline and a fast
+failure when the server refuses the connection outright).
+
+Successes and failures land in the shared :class:`ThroughputMonitor` —
+the raw material of every timeline figure and of availability.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from ..net.fabric import Fabric
+from ..net.nic import Nic
+from ..net.packet import Frame
+from ..sim.engine import Engine, Timer
+from ..sim.monitor import ThroughputMonitor
+from .trace import FileSet
+
+CONNECT_TIMEOUT = 2.0
+REQUEST_TIMEOUT = 6.0
+
+
+class ClientMachine:
+    """One client host: issues requests, tracks outcomes and latencies."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        fabric: Fabric,
+        client_id: str,
+        server_ids: List[str],
+        fileset: FileSet,
+        monitor: ThroughputMonitor,
+        rng: random.Random,
+        rate: float,
+        request_timeout: float = REQUEST_TIMEOUT,
+    ):
+        from ..press.http import HttpRequest  # local import to avoid cycle
+
+        self._HttpRequest = HttpRequest
+        self.engine = engine
+        self.client_id = client_id
+        self.server_ids = list(server_ids)
+        self.fileset = fileset
+        self.monitor = monitor
+        self.rng = rng
+        self.rate = rate
+        self.request_timeout = request_timeout
+        self.nic: Nic = fabric.attach(client_id, reports_errors=False)
+        self.nic.register("http-resp", self._on_response)
+        self.nic.register("http-reject", self._on_reject)
+        self._pending: Dict[int, Timer] = {}
+        self._rr = 0
+        self._running = False
+        self.latencies_sum = 0.0
+        self.completed = 0
+
+    # ------------------------------------------------------------------
+    # Arrival process
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._running = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def set_rate(self, rate: float) -> None:
+        self.rate = rate
+
+    def _schedule_next(self) -> None:
+        if not self._running or self.rate <= 0:
+            return
+        gap = self.rng.expovariate(self.rate)
+        self.engine.call_after(gap, self._fire)
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self._issue_one()
+        self._schedule_next()
+
+    def _issue_one(self) -> None:
+        target = self.server_ids[self._rr % len(self.server_ids)]
+        self._rr += 1
+        file_id = self.fileset.sample(self.rng)
+        req = self._HttpRequest.fresh(self.client_id, file_id, self.engine.now)
+        timer = self.engine.call_after(
+            self.request_timeout, self._on_timeout, req.req_id
+        )
+        self._pending[req.req_id] = timer
+        self.nic.send(
+            Frame(
+                src=self.client_id,
+                dst=target,
+                size=300,
+                kind="http-req",
+                payload=req,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Outcomes
+    # ------------------------------------------------------------------
+    def _on_response(self, frame: Frame) -> None:
+        req_id: int = frame.payload
+        timer = self._pending.pop(req_id, None)
+        if timer is None:
+            return  # already timed out; the late response is wasted work
+        timer.cancel()
+        self.monitor.success()
+        self.completed += 1
+
+    def _on_reject(self, frame: Frame) -> None:
+        req_id: int = frame.payload
+        timer = self._pending.pop(req_id, None)
+        if timer is None:
+            return
+        timer.cancel()
+        self.monitor.failure()
+
+    def _on_timeout(self, req_id: int) -> None:
+        if self._pending.pop(req_id, None) is not None:
+            self.monitor.failure()
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._pending)
+
+
+class Workload:
+    """A fleet of client machines sharing one offered load."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        fabric: Fabric,
+        server_ids: List[str],
+        fileset: FileSet,
+        monitor: ThroughputMonitor,
+        rng: random.Random,
+        total_rate: float,
+        n_clients: int = 2,
+        request_timeout: float = REQUEST_TIMEOUT,
+    ):
+        self.engine = engine
+        self.total_rate = total_rate
+        self.clients = [
+            ClientMachine(
+                engine,
+                fabric,
+                f"client{i}",
+                server_ids,
+                fileset,
+                monitor,
+                random.Random(rng.random()),
+                total_rate / n_clients,
+                request_timeout=request_timeout,
+            )
+            for i in range(n_clients)
+        ]
+
+    def start(self) -> None:
+        for c in self.clients:
+            c.start()
+
+    def stop(self) -> None:
+        for c in self.clients:
+            c.stop()
+
+    def set_total_rate(self, rate: float) -> None:
+        self.total_rate = rate
+        per = rate / len(self.clients)
+        for c in self.clients:
+            c.set_rate(per)

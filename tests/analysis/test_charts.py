@@ -1,0 +1,62 @@
+"""Tests for the terminal chart helpers."""
+
+import pytest
+
+from repro.analysis.charts import bar_chart, sparkline, timeline_plot
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_flat_series_uses_lowest_glyph(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_monotone_series_monotone_glyphs(self):
+        s = sparkline(list(range(8)))
+        assert list(s) == sorted(s)
+
+    def test_explicit_bounds(self):
+        s = sparkline([5.0], lo=0.0, hi=10.0)
+        assert s in "▃▄▅"
+
+
+class TestBarChart:
+    def test_empty(self):
+        assert bar_chart({}) == "(no data)"
+
+    def test_rows_and_proportions(self):
+        out = bar_chart({"a": 10.0, "b": 5.0}, width=10)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].count("█") == 10
+        assert 0 < lines[1].count("█") <= 5
+
+    def test_labels_aligned(self):
+        out = bar_chart({"short": 1.0, "muchlonger": 2.0})
+        starts = {line.index(" ") for line in out.splitlines()}
+        # labels padded to a common width
+        assert all("█" in line or line for line in out.splitlines())
+
+
+class TestTimelinePlot:
+    def test_empty(self):
+        assert timeline_plot([]) == "(no data)"
+
+    def test_height_rows_plus_axis(self):
+        series = [(float(t), 100.0) for t in range(0, 100)]
+        out = timeline_plot(series, bucket=10.0, height=5)
+        assert len(out.splitlines()) == 6  # 5 rows + axis
+
+    def test_markers_rendered(self):
+        series = [(float(t), 100.0) for t in range(0, 100)]
+        out = timeline_plot(series, bucket=10.0, markers={50.0: "F"})
+        assert "F" in out.splitlines()[-1]
+
+    def test_zero_series_plots_blank(self):
+        series = [(float(t), 0.0) for t in range(0, 50)]
+        out = timeline_plot(series, bucket=10.0)
+        assert "█" not in out

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.fabric import Fabric
+from repro.osim.node import Node
+from repro.sim.engine import Engine
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine()
+
+
+@pytest.fixture
+def fabric(engine: Engine) -> Fabric:
+    return Fabric(engine)
+
+
+@pytest.fixture
+def two_nodes(engine: Engine, fabric: Fabric):
+    """Two booted nodes attached to one fabric."""
+    nodes = []
+    for name in ("n0", "n1"):
+        node = Node(engine, name, fabric.attach(name))
+        node.process.start()
+        nodes.append(node)
+    return nodes
+
+
+@pytest.fixture
+def three_nodes(engine: Engine, fabric: Fabric):
+    nodes = []
+    for name in ("n0", "n1", "n2"):
+        node = Node(engine, name, fabric.attach(name))
+        node.process.start()
+        nodes.append(node)
+    return nodes

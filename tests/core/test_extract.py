@@ -1,0 +1,141 @@
+"""Tests for timeline -> seven-stage profile extraction."""
+
+import pytest
+
+from repro.core.extract import (
+    DEFAULT_ENVIRONMENT,
+    Environment,
+    ExperimentRecord,
+    extract_profile,
+)
+from repro.core.stages import Stage
+from repro.sim.monitor import Timeline
+
+TN = 1000.0
+ENV = Environment(
+    operator_response=600.0,
+    transient_window=10.0,
+    steady_window=20.0,
+)
+
+
+def make_timeline(rates, bucket=1.0):
+    """rates: list of (start, end, rate) segments."""
+    series = []
+    t = 0.0
+    end_total = max(end for _s, end, _r in rates)
+    while t < end_total:
+        rate = 0.0
+        for s, e, r in rates:
+            if s <= t < e:
+                rate = r
+                break
+        series.append((t, rate))
+        t += bucket
+    return Timeline(version="V", fault="f", bucket_width=bucket, series=series)
+
+
+def record(timeline, **kw):
+    defaults = dict(
+        version="V",
+        fault="f",
+        timeline=timeline,
+        normal_throughput=TN,
+        injected_at=50.0,
+        cleared_at=100.0,
+        end_time=200.0,
+    )
+    defaults.update(kw)
+    return ExperimentRecord(**defaults)
+
+
+def test_no_impact_detected():
+    tl = make_timeline([(0, 200, TN)])
+    profile = extract_profile(record(tl), mttr=180.0, env=ENV)
+    assert profile.total_duration == 0.0
+
+
+def test_undetected_fault_spans_full_mttr_in_stage_a():
+    """A fault the service never notices degrades it until repair."""
+    tl = make_timeline([(0, 50, TN), (50, 100, 100.0), (100, 200, TN)])
+    profile = extract_profile(record(tl), mttr=180.0, env=ENV)
+    assert profile.duration(Stage.A) == pytest.approx(180.0)
+    assert profile.throughput(Stage.A) == pytest.approx(100.0, rel=0.05)
+    assert profile.duration(Stage.B) == 0.0
+    assert profile.duration(Stage.C) == 0.0
+
+
+def test_detected_fault_splits_a_b_c():
+    tl = make_timeline([(0, 50, TN), (50, 65, 200.0), (65, 100, 700.0), (100, 200, TN)])
+    profile = extract_profile(
+        record(tl, detection_at=65.0), mttr=180.0, env=ENV
+    )
+    assert profile.duration(Stage.A) == pytest.approx(15.0)
+    assert profile.throughput(Stage.A) == pytest.approx(200.0, rel=0.1)
+    assert profile.duration(Stage.B) == pytest.approx(10.0)
+    # C fills the rest of the MTTR at the stable degraded level.
+    assert profile.duration(Stage.C) == pytest.approx(180.0 - 25.0)
+    assert profile.throughput(Stage.C) == pytest.approx(700.0, rel=0.1)
+
+
+def test_stage_d_covers_post_repair_recovery_lag():
+    """TCP's backoff keeps throughput at 0 past the repair instant."""
+    tl = make_timeline(
+        [(0, 50, TN), (50, 100, 0.0), (100, 130, 0.0), (130, 200, TN)]
+    )
+    profile = extract_profile(record(tl), mttr=180.0, env=ENV)
+    # D spans from clear (100) through sustained recovery (~130) + window.
+    assert profile.duration(Stage.D) >= 30.0
+    assert profile.throughput(Stage.D) < TN * 0.5
+
+
+def test_unrecovered_service_gets_stage_e_at_operator_response():
+    tl = make_timeline([(0, 50, TN), (50, 200, 750.0)])
+    profile = extract_profile(
+        record(tl, recovered_fully=False), mttr=180.0, env=ENV
+    )
+    assert profile.duration(Stage.E) == pytest.approx(600.0)
+    assert profile.throughput(Stage.E) == pytest.approx(750.0, rel=0.05)
+
+
+def test_simulated_reset_measures_f_and_g():
+    tl = make_timeline(
+        [(0, 50, TN), (50, 100, 800.0), (100, 150, 800.0),
+         (150, 160, 300.0), (160, 200, TN)]
+    )
+    profile = extract_profile(
+        record(tl, reset_at=150.0, recovered_fully=True, detection_at=50.5),
+        mttr=180.0,
+        env=ENV,
+    )
+    assert profile.duration(Stage.E) == pytest.approx(600.0)
+    assert profile.duration(Stage.F) == pytest.approx(10.0)
+    assert profile.throughput(Stage.F) == pytest.approx(300.0, rel=0.1)
+    assert profile.duration(Stage.G) == pytest.approx(10.0)
+
+
+def test_throughputs_clamped_at_tn():
+    """Bucket noise above Tn must not create negative damage."""
+    tl = make_timeline([(0, 50, TN), (50, 100, TN * 1.2), (100, 200, TN)])
+    profile = extract_profile(
+        record(tl, detection_at=60.0), mttr=180.0, env=ENV
+    )
+    for stage in Stage:
+        assert profile.throughput(stage) <= TN + 1e-9
+
+
+def test_instant_detection_has_no_stage_a():
+    tl = make_timeline([(0, 50, TN), (50, 100, 700.0), (100, 200, TN)])
+    profile = extract_profile(
+        record(tl, detection_at=50.0), mttr=180.0, env=ENV
+    )
+    assert profile.duration(Stage.A) == 0.0
+    assert profile.duration(Stage.B) > 0.0
+
+
+def test_profile_carries_identity():
+    tl = make_timeline([(0, 200, TN)])
+    profile = extract_profile(record(tl), mttr=60.0, env=ENV)
+    assert profile.fault == "f"
+    assert profile.version == "V"
+    assert profile.normal_throughput == TN

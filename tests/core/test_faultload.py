@@ -1,0 +1,111 @@
+"""Tests for fault loads (Table 3) and their transformations."""
+
+import pytest
+
+from repro.core.faultload import (
+    APPLICATION_FAULT_SPLIT,
+    DAY,
+    HOUR,
+    MINUTE,
+    MONTH,
+    WEEK,
+    YEAR,
+    ComponentFault,
+    FaultLoad,
+    packet_drop_component,
+    software_bug_component,
+    system_bug_component,
+)
+from repro.faults.spec import FaultKind
+
+
+def test_application_split_matches_field_study():
+    """Chillarege et al.: crash 40%, hang 40%, null 8%, ptr 9%, size 2%."""
+    assert APPLICATION_FAULT_SPLIT[FaultKind.APP_CRASH] == 0.40
+    assert APPLICATION_FAULT_SPLIT[FaultKind.APP_HANG] == 0.40
+    assert APPLICATION_FAULT_SPLIT[FaultKind.BAD_PARAM_NULL] == 0.08
+    assert APPLICATION_FAULT_SPLIT[FaultKind.BAD_PARAM_OFFSET] == 0.09
+    assert APPLICATION_FAULT_SPLIT[FaultKind.BAD_PARAM_SIZE] == 0.02
+    # The paper gives "approximately" these shares; they sum to 99%.
+    assert sum(APPLICATION_FAULT_SPLIT.values()) == pytest.approx(0.99)
+
+
+def test_table3_rows_present_with_paper_rates():
+    load = FaultLoad.table3(app_fault_mttf=DAY, n_nodes=4)
+    by_kind = {}
+    for c in load:
+        by_kind.setdefault(c.kind, []).append(c)
+    # Cluster-level MTTFs: per-node rates x 4 nodes.
+    assert by_kind[FaultKind.NODE_CRASH][0].mttf == pytest.approx(2 * WEEK / 4)
+    assert by_kind[FaultKind.LINK_DOWN][0].mttf == pytest.approx(6 * MONTH / 4)
+    assert by_kind[FaultKind.SWITCH_DOWN][0].mttf == pytest.approx(YEAR)
+    assert by_kind[FaultKind.SWITCH_DOWN][0].mttr == pytest.approx(HOUR)
+    assert by_kind[FaultKind.MEMORY_PINNING][0].mttr == pytest.approx(3 * MINUTE)
+
+
+def test_app_fault_rates_split_by_share():
+    load = FaultLoad.table3(app_fault_mttf=DAY, n_nodes=4)
+    crash = next(c for c in load if c.kind is FaultKind.APP_CRASH)
+    null = next(c for c in load if c.kind is FaultKind.BAD_PARAM_NULL)
+    # crash rate / null rate == 0.40 / 0.08
+    assert (1 / crash.mttf) / (1 / null.mttf) == pytest.approx(5.0)
+    # Combined application rate = n_nodes / app_fault_mttf (x the 99%
+    # coverage of the paper's approximate split).
+    app_rate = sum(
+        1 / c.mttf for c in load if c.kind in APPLICATION_FAULT_SPLIT
+    )
+    assert app_rate == pytest.approx(0.99 * 4 / DAY)
+
+
+def test_scaled_divides_mttf():
+    load = FaultLoad.table3(app_fault_mttf=DAY)
+    doubled = load.scaled(2.0)
+    assert doubled.total_rate() == pytest.approx(2 * load.total_rate())
+
+
+def test_scaled_subset_only_touches_selected_kinds():
+    load = FaultLoad.table3(app_fault_mttf=DAY)
+    scaled = load.scaled(3.0, kinds=[FaultKind.SWITCH_DOWN])
+    orig = {c.name: c.mttf for c in load}
+    new = {c.name: c.mttf for c in scaled}
+    for name in orig:
+        if name == FaultKind.SWITCH_DOWN.value:
+            assert new[name] == pytest.approx(orig[name] / 3)
+        else:
+            assert new[name] == orig[name]
+
+
+def test_scaled_validation():
+    load = FaultLoad.table3()
+    with pytest.raises(ValueError):
+        load.scaled(0.0)
+
+
+def test_with_extra_appends():
+    load = FaultLoad.table3()
+    bigger = load.with_extra(packet_drop_component(WEEK))
+    assert len(bigger) == len(load) + 1
+
+
+def test_packet_drop_reuses_app_crash_profile():
+    c = packet_drop_component(WEEK, n_nodes=4)
+    assert c.key == FaultKind.APP_CRASH.value
+    assert c.name == "packet-drop"
+    assert c.mttf == pytest.approx(WEEK / 4)
+
+
+def test_system_bug_is_a_switch_crash():
+    c = system_bug_component(MONTH)
+    assert c.key == FaultKind.SWITCH_DOWN.value
+    assert c.mttr == pytest.approx(HOUR)
+
+
+def test_software_bug_behaves_like_app_crash():
+    c = software_bug_component(MONTH)
+    assert c.key == FaultKind.APP_CRASH.value
+
+
+def test_component_rate():
+    c = ComponentFault(FaultKind.NODE_CRASH, mttf=100.0, mttr=1.0)
+    assert c.rate == pytest.approx(0.01)
+    assert c.name == "node-crash"

@@ -1,0 +1,71 @@
+"""Tests for the performability metric P = Tn * log(A_I)/log(AA)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metric import IDEAL_AVAILABILITY, performability
+
+
+def test_linear_in_throughput():
+    p1 = performability(1000.0, 0.999)
+    p2 = performability(2000.0, 0.999)
+    assert p2 == pytest.approx(2 * p1)
+
+
+def test_halving_unavailability_roughly_doubles_p():
+    """The paper's design property: log(1-u) ~ -u for small u."""
+    p1 = performability(1000.0, 1 - 1e-3)
+    p2 = performability(1000.0, 1 - 5e-4)
+    assert p2 / p1 == pytest.approx(2.0, rel=0.01)
+
+
+def test_ideal_availability_gives_tn():
+    assert performability(1234.0, IDEAL_AVAILABILITY) == pytest.approx(1234.0)
+
+
+def test_perfect_availability_is_finite():
+    assert math.isfinite(performability(1000.0, 1.0))
+    assert performability(1000.0, 1.0) > 0
+
+
+def test_zero_availability_is_tiny_but_defined():
+    assert performability(1000.0, 0.0) >= 0.0
+
+
+def test_custom_ideal():
+    p = performability(100.0, 0.99, ideal=0.99)
+    assert p == pytest.approx(100.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        performability(-1.0, 0.9)
+    with pytest.raises(ValueError):
+        performability(1.0, 1.5)
+    with pytest.raises(ValueError):
+        performability(1.0, 0.9, ideal=1.0)
+
+
+@settings(max_examples=80)
+@given(
+    st.floats(min_value=0.0, max_value=1e6),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_property_nonnegative_and_finite(tn, aa):
+    p = performability(tn, aa)
+    assert p >= 0.0
+    assert math.isfinite(p)
+
+
+@settings(max_examples=60)
+@given(
+    st.floats(min_value=1.0, max_value=1e5),
+    st.floats(min_value=0.5, max_value=0.9999),
+    st.floats(min_value=0.5, max_value=0.9999),
+)
+def test_property_monotone_in_availability(tn, a1, a2):
+    lo, hi = sorted((a1, a2))
+    assert performability(tn, hi) >= performability(tn, lo)

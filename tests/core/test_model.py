@@ -1,0 +1,165 @@
+"""Tests for the phase-2 availability/performance model (AT/AA)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.faultload import ComponentFault, FaultLoad
+from repro.core.model import MissingProfile, ProfileSet, evaluate
+from repro.core.stages import SevenStageProfile, Stage
+from repro.faults.spec import FaultKind
+
+
+def profile_set(tn=1000.0, version="V"):
+    return ProfileSet(version, tn)
+
+
+def simple_profile(fault, tn, duration, throughput):
+    return SevenStageProfile.from_pairs(
+        fault, "V", tn, [(Stage.A, duration, throughput)]
+    )
+
+
+def load_of(*components):
+    return FaultLoad(components=tuple(components))
+
+
+def test_no_faults_means_perfect_availability():
+    ps = profile_set()
+    result = evaluate(ps, load_of())
+    assert result.availability == 1.0
+    assert result.average_throughput == 1000.0
+
+
+def test_single_fault_matches_hand_computation():
+    """AT = (1 - D/MTTF) Tn + (D/MTTF) T_A."""
+    ps = profile_set(tn=1000.0)
+    ps.add(simple_profile("node-crash", 1000.0, duration=100.0, throughput=400.0))
+    load = load_of(ComponentFault(FaultKind.NODE_CRASH, mttf=10_000.0, mttr=60.0))
+    result = evaluate(ps, load)
+    expected_at = (1 - 100 / 10_000) * 1000 + (100 / 10_000) * 400
+    assert result.average_throughput == pytest.approx(expected_at)
+    assert result.availability == pytest.approx(expected_at / 1000)
+
+
+def test_total_outage_unavailability_is_time_fraction():
+    ps = profile_set(tn=1000.0)
+    ps.add(simple_profile("switch-down", 1000.0, duration=50.0, throughput=0.0))
+    load = load_of(ComponentFault(FaultKind.SWITCH_DOWN, mttf=5000.0, mttr=50.0))
+    result = evaluate(ps, load)
+    assert result.unavailability == pytest.approx(50 / 5000)
+
+
+def test_contributions_sum_to_total_unavailability():
+    ps = profile_set(tn=1000.0)
+    ps.add(simple_profile("node-crash", 1000.0, 100.0, 300.0))
+    ps.add(simple_profile("link-down", 1000.0, 30.0, 0.0))
+    load = load_of(
+        ComponentFault(FaultKind.NODE_CRASH, mttf=10_000.0, mttr=60.0),
+        ComponentFault(FaultKind.LINK_DOWN, mttf=50_000.0, mttr=60.0),
+    )
+    result = evaluate(ps, load)
+    total = sum(c.unavailability for c in result.contributions)
+    assert total == pytest.approx(result.unavailability)
+
+
+def test_no_impact_profile_contributes_nothing():
+    ps = profile_set(tn=1000.0)
+    ps.add(SevenStageProfile.no_impact("kernel-memory-allocation", "V", 1000.0))
+    load = load_of(
+        ComponentFault(FaultKind.KERNEL_MEMORY, mttf=1000.0, mttr=60.0)
+    )
+    result = evaluate(ps, load)
+    assert result.availability == 1.0
+
+
+def test_profile_key_remapping():
+    """Sensitivity scenarios reuse a measured profile under a new name
+    (packet drops behave like app crashes)."""
+    ps = profile_set(tn=1000.0)
+    ps.add(simple_profile("application-crash", 1000.0, 100.0, 500.0))
+    drop = ComponentFault(
+        FaultKind.APP_CRASH,
+        mttf=10_000.0,
+        mttr=60.0,
+        profile_key="application-crash",
+        label="packet-drop",
+    )
+    result = evaluate(ps, load_of(drop))
+    assert result.contributions[0].name == "packet-drop"
+    assert result.unavailability > 0
+
+
+def test_missing_profile_raises():
+    ps = profile_set()
+    load = load_of(ComponentFault(FaultKind.NODE_CRASH, mttf=100.0, mttr=1.0))
+    with pytest.raises(MissingProfile):
+        evaluate(ps, load)
+
+
+def test_degraded_time_exceeding_mttf_rejected():
+    ps = profile_set(tn=1000.0)
+    ps.add(simple_profile("node-crash", 1000.0, duration=200.0, throughput=0.0))
+    load = load_of(ComponentFault(FaultKind.NODE_CRASH, mttf=100.0, mttr=60.0))
+    with pytest.raises(ValueError):
+        evaluate(ps, load)
+
+
+def test_grouped_unavailability():
+    ps = profile_set(tn=1000.0)
+    ps.add(simple_profile("node-crash", 1000.0, 100.0, 0.0))
+    ps.add(simple_profile("node-freeze", 1000.0, 100.0, 0.0))
+    load = load_of(
+        ComponentFault(FaultKind.NODE_CRASH, mttf=10_000.0, mttr=60.0),
+        ComponentFault(FaultKind.NODE_FREEZE, mttf=10_000.0, mttr=60.0),
+    )
+    result = evaluate(ps, load)
+    grouped = result.grouped_unavailability(
+        {"node-crash": "node", "node-freeze": "node"}
+    )
+    assert grouped == {"node": pytest.approx(0.02)}
+
+
+@settings(max_examples=60)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.1, max_value=100.0),  # duration
+            st.floats(min_value=0.0, max_value=1.0),  # throughput fraction
+            st.floats(min_value=1e4, max_value=1e8),  # mttf
+        ),
+        min_size=0,
+        max_size=6,
+    )
+)
+def test_property_availability_in_unit_interval(rows):
+    ps = profile_set(tn=500.0)
+    kinds = list(FaultKind)
+    components = []
+    for i, (duration, frac, mttf) in enumerate(rows):
+        kind = kinds[i % len(kinds)]
+        key = f"fault{i}"
+        ps.add(
+            SevenStageProfile.from_pairs(
+                key, "V", 500.0, [(Stage.A, duration, 500.0 * frac)]
+            )
+        )
+        components.append(
+            ComponentFault(kind, mttf=mttf, mttr=60.0, profile_key=key)
+        )
+    result = evaluate(ps, FaultLoad(components=tuple(components)))
+    assert 0.0 <= result.availability <= 1.0
+    assert result.average_throughput <= 500.0 + 1e-9
+
+
+@settings(max_examples=40)
+@given(st.floats(min_value=1e5, max_value=1e9))
+def test_property_higher_mttf_never_hurts(mttf):
+    ps = profile_set(tn=1000.0)
+    ps.add(simple_profile("node-crash", 1000.0, 100.0, 200.0))
+
+    def aa(m):
+        load = load_of(ComponentFault(FaultKind.NODE_CRASH, mttf=m, mttr=60.0))
+        return evaluate(ps, load).availability
+
+    assert aa(mttf * 2) >= aa(mttf)

@@ -1,0 +1,85 @@
+"""Tests for sensitivity sweeps and the crossover solver."""
+
+import pytest
+
+from repro.core.faultload import ComponentFault, FaultLoad
+from repro.core.metric import performability_of
+from repro.core.model import ProfileSet, evaluate
+from repro.core.sensitivity import crossover_multiplier, sweep_app_fault_rate
+from repro.core.stages import SevenStageProfile, Stage
+from repro.faults.spec import FaultKind
+
+
+def make_profiles(version, tn, outage_per_crash):
+    ps = ProfileSet(version, tn)
+    ps.add(
+        SevenStageProfile.from_pairs(
+            "application-crash", version, tn,
+            [(Stage.A, outage_per_crash, 0.0)],
+        )
+    )
+    return ps
+
+
+def load_at(mttf):
+    return FaultLoad(
+        components=(
+            ComponentFault(
+                FaultKind.APP_CRASH,
+                mttf=mttf,
+                mttr=60.0,
+                profile_key="application-crash",
+            ),
+        )
+    )
+
+
+def test_sweep_shape():
+    profiles = {
+        "TCP": make_profiles("TCP", 1000.0, 100.0),
+        "VIA": make_profiles("VIA", 1400.0, 10.0),
+    }
+    out = sweep_app_fault_rate(
+        profiles, mttfs=[1e5, 1e6], make_load=load_at
+    )
+    assert set(out) == {"TCP", "VIA"}
+    for rows in out.values():
+        assert len(rows) == 2
+        (m1, a1, p1), (m2, a2, p2) = rows
+        assert a2 >= a1  # rarer faults -> higher availability
+        assert p2 >= p1
+
+
+def test_crossover_finds_equalizing_multiplier():
+    """VIA is faster but each fault hurts it more: scaling its fault rate
+    must eventually hand the win to TCP, and the solver finds where."""
+    tcp = make_profiles("TCP", 1000.0, 50.0)
+    via = make_profiles("VIA", 1400.0, 50.0)
+    base = load_at(mttf=1e5)
+    m = crossover_multiplier(
+        tcp, via, base, lambda mult: base.scaled(mult), lo=1.0, hi=64.0
+    )
+    p_tcp = performability_of(evaluate(tcp, base))
+    p_via = performability_of(
+        evaluate(via, base.scaled(m))
+    )
+    assert p_via == pytest.approx(p_tcp, rel=0.02)
+    assert m > 1.0
+
+
+def test_crossover_raises_when_via_already_loses():
+    tcp = make_profiles("TCP", 1000.0, 10.0)
+    via = make_profiles("VIA", 1001.0, 500.0)  # barely faster, very fragile
+    base = load_at(mttf=1e4)
+    with pytest.raises(ValueError, match="already loses"):
+        crossover_multiplier(tcp, via, base, lambda m: base.scaled(m))
+
+
+def test_crossover_raises_when_no_crossover_in_range():
+    tcp = make_profiles("TCP", 1000.0, 50.0)
+    via = make_profiles("VIA", 5000.0, 0.001)  # nearly invulnerable
+    base = load_at(mttf=1e6)
+    with pytest.raises(ValueError, match="still wins"):
+        crossover_multiplier(
+            tcp, via, base, lambda m: base.scaled(m), hi=4.0
+        )

@@ -1,0 +1,85 @@
+"""Tests for the seven-stage model data structures."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.stages import STAGES, SevenStageProfile, Stage, StagePoint
+
+
+def test_all_seven_stages_exist():
+    assert [s.value for s in STAGES] == list("ABCDEFG")
+
+
+def test_missing_stages_default_to_zero():
+    p = SevenStageProfile(fault="f", version="v", normal_throughput=100.0)
+    for stage in STAGES:
+        assert p.duration(stage) == 0.0
+        assert p.throughput(stage) == 0.0
+    assert p.total_duration == 0.0
+    assert p.lost_work == 0.0
+
+
+def test_with_stage_is_immutable_update():
+    p = SevenStageProfile(fault="f", version="v", normal_throughput=100.0)
+    q = p.with_stage(Stage.A, 10.0, 50.0)
+    assert p.duration(Stage.A) == 0.0
+    assert q.duration(Stage.A) == 10.0
+    assert q.throughput(Stage.A) == 50.0
+
+
+def test_lost_work_accumulates_over_stages():
+    p = SevenStageProfile.from_pairs(
+        "f", "v", 100.0, [(Stage.A, 10.0, 0.0), (Stage.C, 20.0, 50.0)]
+    )
+    assert p.lost_work == pytest.approx(10 * 100 + 20 * 50)
+    assert p.total_duration == 30.0
+
+
+def test_degradation():
+    p = SevenStageProfile.from_pairs("f", "v", 200.0, [(Stage.A, 5.0, 150.0)])
+    assert p.degradation(Stage.A) == pytest.approx(0.25)
+    assert p.degradation(Stage.B) == pytest.approx(1.0)  # zero throughput
+
+
+def test_no_impact_profile():
+    p = SevenStageProfile.no_impact("f", "v", 100.0)
+    assert p.lost_work == 0.0
+    assert "no impact" in p.describe()
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SevenStageProfile(fault="f", version="v", normal_throughput=0.0)
+    with pytest.raises(ValueError):
+        StagePoint(duration=-1.0, throughput=0.0)
+    with pytest.raises(ValueError):
+        StagePoint(duration=1.0, throughput=-5.0)
+
+
+def test_describe_lists_nonzero_stages():
+    p = SevenStageProfile.from_pairs(
+        "link-down", "TCP", 100.0, [(Stage.A, 12.0, 30.0)]
+    )
+    text = p.describe()
+    assert "A:12.0s@30" in text
+    assert "B:" not in text
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(list(STAGES)),
+            st.floats(min_value=0, max_value=1e4),
+            st.floats(min_value=0, max_value=1e4),
+        ),
+        max_size=7,
+        unique_by=lambda x: x[0],
+    ),
+    st.floats(min_value=1e-3, max_value=1e5),
+)
+def test_property_lost_work_nonnegative_when_throughput_below_tn(pairs, tn):
+    clamped = [(s, d, min(t, tn)) for s, d, t in pairs]
+    p = SevenStageProfile.from_pairs("f", "v", tn, clamped)
+    assert p.lost_work >= -1e-9
+    assert p.total_duration == pytest.approx(sum(d for _s, d, _t in clamped))

@@ -1,0 +1,36 @@
+"""Shared fixtures: compressed phase-1 settings and a cached mini-campaign."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.settings import Phase1Settings
+from repro.press.cluster import SMOKE_SCALE
+
+#: Short windows: enough to observe detection, recovery, and resets,
+#: small enough for CI.
+FAST_SETTINGS = Phase1Settings(
+    scale=SMOKE_SCALE,
+    seed=5,
+    warm=15.0,
+    fault_at=30.0,
+    fault_duration=40.0,
+    post_recovery=60.0,
+    tail=40.0,
+    replications=2,
+)
+
+
+@pytest.fixture(scope="session")
+def fast_settings() -> Phase1Settings:
+    return FAST_SETTINGS
+
+
+@pytest.fixture(scope="session")
+def mini_campaign(fast_settings):
+    """Profile sets for one TCP and one VIA version (cached per session)."""
+    from repro.experiments.campaign import full_campaign
+
+    return full_campaign(
+        fast_settings, versions=["TCP-PRESS", "TCP-PRESS-HB", "VIA-PRESS-5"]
+    )

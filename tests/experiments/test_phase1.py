@@ -1,0 +1,76 @@
+"""Tests for the phase-1 runner: records, annotations, stage extraction."""
+
+import pytest
+
+from repro.core.extract import extract_profile
+from repro.core.stages import Stage
+from repro.experiments.phase1 import run_baseline, run_by_name, run_single_fault
+from repro.experiments.settings import FAULT_MTTR
+from repro.faults.spec import FaultKind
+from repro.press.config import ALL_VERSIONS
+
+
+def test_baseline_measures_near_offered_load(fast_settings):
+    tn, cluster = run_baseline(ALL_VERSIONS["TCP-PRESS"], fast_settings)
+    offered = cluster.workload.total_rate * cluster.scale.report_factor
+    assert tn == pytest.approx(offered, rel=0.12)
+
+
+def test_record_brackets_fault_window(fast_settings):
+    record, _ = run_by_name("VIA-PRESS-5", FaultKind.LINK_DOWN, fast_settings)
+    assert record.injected_at == pytest.approx(fast_settings.fault_at)
+    assert record.cleared_at == pytest.approx(
+        fast_settings.fault_at + fast_settings.fault_duration
+    )
+    assert record.end_time > record.cleared_at
+
+
+def test_via_link_fault_detected_immediately(fast_settings):
+    record, _ = run_by_name("VIA-PRESS-5", FaultKind.LINK_DOWN, fast_settings)
+    assert record.detection_at is not None
+    assert record.detection_at - record.injected_at < 2.0
+    assert not record.recovered_fully  # splintered, no re-merge
+    assert record.reset_at is not None  # the runner simulated the operator
+
+
+def test_tcp_link_fault_never_detected(fast_settings):
+    record, _ = run_by_name("TCP-PRESS", FaultKind.LINK_DOWN, fast_settings)
+    assert record.detection_at is None
+    assert record.recovered_fully
+
+
+def test_heartbeat_detection_latency(fast_settings):
+    record, _ = run_by_name("TCP-PRESS-HB", FaultKind.LINK_DOWN, fast_settings)
+    assert record.detection_at is not None
+    assert 10.0 <= record.detection_at - record.injected_at <= 25.0
+
+
+def test_node_crash_record_includes_rejoin(fast_settings):
+    record, _ = run_by_name("VIA-PRESS-5", FaultKind.NODE_CRASH, fast_settings)
+    assert record.rejoined_at is not None
+    assert record.recovered_fully
+
+
+def test_extracted_profile_consistent_with_record(fast_settings):
+    record, _ = run_by_name("TCP-PRESS", FaultKind.KERNEL_MEMORY, fast_settings)
+    profile = extract_profile(
+        record, mttr=FAULT_MTTR[FaultKind.KERNEL_MEMORY]
+    )
+    # Undetected stall: all of MTTR in stage A at heavy degradation.
+    assert profile.duration(Stage.A) == pytest.approx(180.0)
+    assert profile.throughput(Stage.A) < record.normal_throughput * 0.5
+
+
+def test_via_kernel_memory_extracts_no_impact(fast_settings):
+    record, _ = run_by_name("VIA-PRESS-0", FaultKind.KERNEL_MEMORY, fast_settings)
+    profile = extract_profile(
+        record, mttr=FAULT_MTTR[FaultKind.KERNEL_MEMORY]
+    )
+    assert profile.total_duration == 0.0  # pre-allocation immunity
+
+
+def test_timeline_in_paper_units(fast_settings):
+    record, cluster = run_by_name("TCP-PRESS", FaultKind.APP_CRASH, fast_settings)
+    peak = max(rate for _t, rate in record.timeline.series)
+    # Paper-unit rates are in the thousands of req/s, not the scaled tens.
+    assert peak > 1000.0

@@ -1,0 +1,43 @@
+"""Tests for the seed-sweep stability utilities."""
+
+import pytest
+
+from repro.experiments.settings import DEFAULT_SETTINGS
+from repro.experiments.stability import SweepStat, format_sweep, sweep
+
+
+def test_sweepstat_aggregates():
+    s = SweepStat("x")
+    for v in (1.0, 2.0, 3.0):
+        s.add(v)
+    assert s.mean == pytest.approx(2.0)
+    assert s.lo == 1.0 and s.hi == 3.0
+    assert s.spread == pytest.approx(0.5)
+
+
+def test_sweepstat_zero_mean_spread():
+    s = SweepStat("x")
+    s.add(0.0)
+    assert s.spread == 0.0
+
+
+def test_sweep_runs_quantity_per_seed():
+    calls = []
+
+    def quantity(settings):
+        calls.append(settings.seed)
+        return {"a": float(settings.seed), "b": 2.0 * settings.seed}
+
+    stats = sweep(quantity, seeds=[1, 2, 3], settings=DEFAULT_SETTINGS)
+    assert calls == [1, 2, 3]
+    assert stats["a"].samples == [1.0, 2.0, 3.0]
+    assert stats["b"].mean == pytest.approx(4.0)
+
+
+def test_format_sweep():
+    s = SweepStat("metric")
+    s.add(1.0)
+    s.add(2.0)
+    out = format_sweep({"metric": s}, title="Title")
+    assert "Title" in out
+    assert "metric" in out and "±" in out

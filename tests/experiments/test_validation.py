@@ -1,0 +1,65 @@
+"""Tests for the model-validation experiments (extension)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.faultload import DAY, FaultLoad
+from repro.experiments.validation import (
+    SEQUENTIAL_ROSTER,
+    ValidationResult,
+    run_monte_carlo,
+    run_sequential_validation,
+)
+from repro.faults.spec import FaultKind
+
+
+@pytest.fixture(scope="module")
+def settings(request):
+    from .conftest import FAST_SETTINGS
+
+    return dataclasses.replace(
+        FAST_SETTINGS, utilization=0.72, replications=1
+    )
+
+
+def test_result_error_metrics():
+    r = ValidationResult(
+        version="V",
+        simulated_availability=0.95,
+        predicted_availability=0.90,
+        faults_injected=3,
+        horizon=1000.0,
+    )
+    assert r.absolute_error == pytest.approx(0.05)
+    assert r.relative_error == pytest.approx(0.5)
+
+
+def test_sequential_validation_tcp(settings):
+    r = run_sequential_validation("TCP-PRESS", settings, spacing=500.0)
+    assert r.faults_injected == len(SEQUENTIAL_ROSTER)
+    assert 0.0 < r.simulated_availability < 1.0
+    assert 0.0 < r.predicted_availability < 1.0
+    # The additive model holds to well under one predicted-unavailability.
+    assert r.relative_error < 0.8
+
+
+def test_sequential_roster_avoids_operator_stages():
+    """The validation roster must contain no splinter-prone faults."""
+    assert FaultKind.LINK_DOWN not in SEQUENTIAL_ROSTER
+    assert FaultKind.SWITCH_DOWN not in SEQUENTIAL_ROSTER
+    assert FaultKind.NODE_CRASH not in SEQUENTIAL_ROSTER
+
+
+def test_monte_carlo_reasonable(settings):
+    r = run_monte_carlo(
+        "VIA-PRESS-5",
+        FaultLoad.table3(app_fault_mttf=DAY),
+        horizon=2000.0,
+        acceleration=60.0,
+        settings=settings,
+    )
+    assert r.faults_injected >= 1
+    sim_u = 1 - r.simulated_availability
+    pred_u = 1 - r.predicted_availability
+    assert pred_u / 4 < sim_u < pred_u * 4

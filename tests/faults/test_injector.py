@@ -1,0 +1,138 @@
+"""Tests for the Mendosus-like injector against a live mini-cluster."""
+
+import pytest
+
+from repro.faults.spec import FaultKind, FaultSpec
+from repro.press.cluster import SMOKE_SCALE, PressCluster
+from repro.press.config import TCP_PRESS, VIA_PRESS_0
+from repro.transports.base import CorruptionKind
+
+
+@pytest.fixture
+def cluster():
+    c = PressCluster(TCP_PRESS, n_nodes=3, scale=SMOKE_SCALE, seed=11)
+    c.start()
+    c.run_until(5.0)
+    return c
+
+
+def test_annotations_bracket_the_fault(cluster):
+    cluster.mendosus.schedule(
+        FaultSpec(FaultKind.LINK_DOWN, target="node1", at=10.0, duration=5.0)
+    )
+    cluster.run_until(20.0)
+    assert cluster.annotations.first("fault-injected").time == 10.0
+    assert cluster.annotations.first("fault-cleared").time == pytest.approx(15.0)
+
+
+def test_link_fault_scoped_to_intra_cluster(cluster):
+    cluster.mendosus.inject(
+        FaultSpec(FaultKind.LINK_DOWN, target="node1", duration=5.0)
+    )
+    link = cluster.fabric.link("node1")
+    assert not link.carries("tcp-seg")
+    assert link.carries("http-req")
+
+
+def test_link_fault_full_scope(cluster):
+    cluster.mendosus.inject(
+        FaultSpec(
+            FaultKind.LINK_DOWN, target="node1", duration=5.0,
+            params={"scope": "all"},
+        )
+    )
+    assert not cluster.fabric.link("node1").carries("http-req")
+
+
+def test_switch_fault_and_repair(cluster):
+    cluster.mendosus.inject(FaultSpec(FaultKind.SWITCH_DOWN, duration=3.0))
+    assert not cluster.fabric.switch.up
+    cluster.run_until(cluster.engine.now + 4.0)
+    assert cluster.fabric.switch.up
+
+
+def test_node_crash_marks_cleared_at_reboot(cluster):
+    t0 = cluster.engine.now
+    cluster.mendosus.inject(FaultSpec(FaultKind.NODE_CRASH, target="node1"))
+    assert not cluster.nodes["node1"].up
+    cluster.run_until(t0 + cluster.nodes["node1"].reboot_time + 2.0)
+    assert cluster.nodes["node1"].up
+    cleared = cluster.annotations.first("fault-cleared")
+    assert cleared is not None
+    assert cleared.time == pytest.approx(t0 + 60.0, abs=1.0)
+
+
+def test_node_freeze_and_thaw(cluster):
+    cluster.mendosus.inject(
+        FaultSpec(FaultKind.NODE_FREEZE, target="node1", duration=4.0)
+    )
+    assert cluster.nodes["node1"].frozen
+    cluster.run_until(cluster.engine.now + 5.0)
+    assert not cluster.nodes["node1"].frozen
+
+
+def test_kernel_memory_fault_window(cluster):
+    cluster.mendosus.inject(
+        FaultSpec(FaultKind.KERNEL_MEMORY, target="node1", duration=4.0)
+    )
+    assert cluster.nodes["node1"].kernel_memory.fault_active
+    cluster.run_until(cluster.engine.now + 5.0)
+    assert not cluster.nodes["node1"].kernel_memory.fault_active
+
+
+def test_pin_fault_halves_current_pinned():
+    c = PressCluster(
+        __import__("repro.press.config", fromlist=["VIA_PRESS_5"]).VIA_PRESS_5,
+        n_nodes=3,
+        scale=SMOKE_SCALE,
+        seed=11,
+    )
+    c.start()
+    c.run_until(5.0)
+    pinned_before = c.nodes["node1"].pinnable.pinned
+    c.mendosus.inject(
+        FaultSpec(FaultKind.MEMORY_PINNING, target="node1", duration=5.0)
+    )
+    pm = c.nodes["node1"].pinnable
+    assert pm.fault_active
+    assert pm.effective_limit == pytest.approx(pinned_before * 0.5, rel=0.01)
+
+
+def test_app_crash_cleared_on_restart(cluster):
+    t0 = cluster.engine.now
+    cluster.mendosus.inject(FaultSpec(FaultKind.APP_CRASH, target="node1"))
+    assert not cluster.nodes["node1"].process.alive
+    cluster.run_until(t0 + 10.0)
+    assert cluster.nodes["node1"].process.running
+    cleared = cluster.annotations.first("fault-cleared")
+    assert cleared.time == pytest.approx(t0 + 5.0, abs=1.0)  # restart delay
+
+
+def test_app_hang_resumes(cluster):
+    cluster.mendosus.inject(
+        FaultSpec(FaultKind.APP_HANG, target="node1", duration=3.0)
+    )
+    assert not cluster.nodes["node1"].process.running
+    assert cluster.nodes["node1"].process.alive
+    cluster.run_until(cluster.engine.now + 4.0)
+    assert cluster.nodes["node1"].process.running
+
+
+def test_bad_param_interposer_fires_exactly_once():
+    c = PressCluster(VIA_PRESS_0, n_nodes=3, scale=SMOKE_SCALE, seed=11)
+    c.start()
+    c.run_until(5.0)
+    transport = c.transports["node1"]
+    c.mendosus.inject(
+        FaultSpec(FaultKind.BAD_PARAM_NULL, target="node1")
+    )
+    assert len(transport.send_interposers) == 1
+    c.run_until(c.engine.now + 20.0)
+    assert transport.send_interposers == []  # self-removed after one call
+    assert c.annotations.first("fault-cleared") is not None
+
+
+def test_injected_log_kept(cluster):
+    spec = FaultSpec(FaultKind.APP_HANG, target="node1", duration=1.0)
+    cluster.mendosus.inject(spec)
+    assert cluster.mendosus.injected == [spec]

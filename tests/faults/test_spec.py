@@ -1,0 +1,54 @@
+"""Tests for the Table-2 fault catalogue."""
+
+import pytest
+
+from repro.faults.spec import (
+    FAULT_CATALOG,
+    FaultCategory,
+    FaultKind,
+    FaultSpec,
+    category_of,
+)
+
+
+def test_catalog_covers_every_kind():
+    assert set(FAULT_CATALOG) == set(FaultKind)
+
+
+def test_table2_categories():
+    assert category_of(FaultKind.LINK_DOWN) is FaultCategory.NETWORK_HARDWARE
+    assert category_of(FaultKind.SWITCH_DOWN) is FaultCategory.NETWORK_HARDWARE
+    assert category_of(FaultKind.NODE_CRASH) is FaultCategory.NODE
+    assert category_of(FaultKind.NODE_FREEZE) is FaultCategory.NODE
+    assert (
+        category_of(FaultKind.KERNEL_MEMORY)
+        is FaultCategory.RESOURCE_EXHAUSTION
+    )
+    assert (
+        category_of(FaultKind.MEMORY_PINNING)
+        is FaultCategory.RESOURCE_EXHAUSTION
+    )
+    for kind in (
+        FaultKind.APP_CRASH,
+        FaultKind.APP_HANG,
+        FaultKind.BAD_PARAM_NULL,
+        FaultKind.BAD_PARAM_OFFSET,
+        FaultKind.BAD_PARAM_SIZE,
+    ):
+        assert category_of(kind) is FaultCategory.APPLICATION
+
+
+def test_spec_label():
+    s = FaultSpec(FaultKind.LINK_DOWN, target="node2", at=5.0, duration=10.0)
+    assert s.label() == "link-down@node2"
+    assert FaultSpec(FaultKind.SWITCH_DOWN).label() == "switch-down@switch"
+
+
+def test_spec_category_passthrough():
+    s = FaultSpec(FaultKind.APP_HANG, target="node0")
+    assert s.category is FaultCategory.APPLICATION
+
+
+def test_off_by_n_default_in_observed_range():
+    """The paper draws N in 0..100 bytes (the dominant field range)."""
+    assert 0 <= FaultSpec(FaultKind.BAD_PARAM_SIZE).off_by_n <= 100

@@ -1,0 +1,150 @@
+"""Tests for switch, NIC, and end-to-end fabric behaviour."""
+
+import pytest
+
+from repro.net.fabric import Fabric
+from repro.net.packet import Frame
+from repro.net.switch import Switch
+from repro.sim.engine import Engine
+
+
+def build(engine, names=("a", "b"), **kw):
+    fabric = Fabric(engine)
+    nics = {n: fabric.attach(n, **kw) for n in names}
+    return fabric, nics
+
+
+def test_end_to_end_delivery():
+    e = Engine()
+    fabric, nics = build(e)
+    got = []
+    nics["b"].on_receive(lambda f: got.append(f.payload))
+    nics["a"].send(Frame(src="a", dst="b", size=100, kind="x", payload="hi"))
+    e.run()
+    assert got == ["hi"]
+    assert fabric.frames_delivered == 1
+
+
+def test_kind_handler_takes_precedence():
+    e = Engine()
+    fabric, nics = build(e)
+    fallback, specific = [], []
+    nics["b"].on_receive(lambda f: fallback.append(f.kind))
+    nics["b"].register("special", lambda f: specific.append(f.kind))
+    nics["a"].send(Frame(src="a", dst="b", size=1, kind="special"))
+    nics["a"].send(Frame(src="a", dst="b", size=1, kind="other"))
+    e.run()
+    assert specific == ["special"]
+    assert fallback == ["other"]
+
+
+def test_unknown_destination_raises():
+    e = Engine()
+    fabric, nics = build(e)
+    with pytest.raises(KeyError):
+        nics["a"].send(Frame(src="a", dst="zzz", size=1, kind="x"))
+
+
+def test_duplicate_attach_rejected():
+    e = Engine()
+    fabric = Fabric(e)
+    fabric.attach("a")
+    with pytest.raises(ValueError):
+        fabric.attach("a")
+
+
+def test_powered_off_nic_does_not_send_or_receive():
+    e = Engine()
+    fabric, nics = build(e)
+    got = []
+    nics["b"].on_receive(lambda f: got.append(1))
+    nics["b"].power_off()
+    nics["a"].send(Frame(src="a", dst="b", size=1, kind="x"))
+    e.run()
+    assert got == []
+    nics["b"].power_on()
+    nics["b"].power_off()
+    assert not nics["b"].send(Frame(src="b", dst="a", size=1, kind="x"))
+
+
+def test_switch_failure_drops_everything():
+    e = Engine()
+    fabric, nics = build(e)
+    got = []
+    nics["b"].on_receive(lambda f: got.append(1))
+    fabric.switch.fail()
+    nics["a"].send(Frame(src="a", dst="b", size=1, kind="x"))
+    e.run()
+    assert got == []
+    assert fabric.frames_lost >= 1
+
+
+def test_san_nic_reports_unreachable_peer():
+    """SAN (cLAN) semantics: a dead path is reported synchronously."""
+    e = Engine()
+    fabric, nics = build(e, reports_errors=True)
+    errors = []
+    nics["a"].on_error(errors.append)
+    nics["b"].power_off()
+    ok = nics["a"].send(Frame(src="a", dst="b", size=1, kind="via-msg"))
+    assert not ok
+    assert errors == ["unreachable:b"]
+
+
+def test_lan_nic_loses_silently():
+    """Without error reporting (TCP's world) losses are invisible."""
+    e = Engine()
+    fabric, nics = build(e, reports_errors=False)
+    errors = []
+    nics["a"].on_error(errors.append)
+    nics["b"].power_off()
+    nics["a"].send(Frame(src="a", dst="b", size=1, kind="tcp-seg"))
+    e.run()
+    assert errors == []
+
+
+def test_error_reported_when_destination_dies_mid_flight():
+    e = Engine()
+    fabric, nics = build(e, reports_errors=True)
+    errors = []
+    nics["a"].on_error(errors.append)
+    nics["a"].send(Frame(src="a", dst="b", size=125_000_000, kind="via-msg"))
+    nics["b"].power_off()  # dies while the frame is on the wire
+    e.run()
+    assert any("node-down" in err or "unreachable" in err for err in errors)
+
+
+def test_path_up_is_kind_aware():
+    e = Engine()
+    fabric, nics = build(e)
+    from repro.net.link import intra_cluster_kind
+
+    fabric.link("b").fail_for(intra_cluster_kind)
+    assert not fabric.path_up("a", "b", "via-msg")
+    assert fabric.path_up("a", "b", "http-req")
+
+
+def test_switch_drop_mode_tail_drops():
+    e = Engine()
+    switch = Switch(e, drop_mode=True, queue_limit=2)
+    fabric = Fabric(e, switch=switch)
+    nics = {n: fabric.attach(n) for n in ("a", "b")}
+    delivered = []
+    nics["b"].on_receive(lambda f: delivered.append(1))
+    for _ in range(5):
+        # All submitted at t=0; queue_limit=2 per output port.
+        switch.forward("b", lambda: delivered.append(1))
+    e.run()
+    assert switch.frames_dropped == 3
+    assert len(delivered) == 2
+
+
+def test_frame_size_validation():
+    with pytest.raises(ValueError):
+        Frame(src="a", dst="b", size=-1, kind="x")
+
+
+def test_frame_ids_unique():
+    f1 = Frame(src="a", dst="b", size=1, kind="x")
+    f2 = Frame(src="a", dst="b", size=1, kind="x")
+    assert f1.frame_id != f2.frame_id

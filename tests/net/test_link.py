@@ -1,0 +1,106 @@
+"""Tests for links: serialization, latency, fail-stop, traffic scoping."""
+
+import pytest
+
+from repro.net.link import Link, intra_cluster_kind
+from repro.sim.engine import Engine
+
+
+def make_link(engine, bandwidth=1000.0, latency=0.1, loss_fn=None):
+    return Link(engine, "l0", bandwidth=bandwidth, latency=latency, loss_fn=loss_fn)
+
+
+def test_delivery_time_is_serialization_plus_latency():
+    e = Engine()
+    link = make_link(e)  # 1000 B/s, 0.1s latency
+    seen = []
+    link.transmit("a2b", 500, "tcp-seg", lambda: seen.append(e.now))
+    e.run()
+    assert seen == [pytest.approx(0.6)]  # 0.5s wire + 0.1s latency
+
+
+def test_back_to_back_frames_serialize():
+    e = Engine()
+    link = make_link(e)
+    seen = []
+    link.transmit("a2b", 1000, "x", lambda: seen.append(e.now))
+    link.transmit("a2b", 1000, "x", lambda: seen.append(e.now))
+    e.run()
+    assert seen == [pytest.approx(1.1), pytest.approx(2.1)]
+
+
+def test_directions_are_independent():
+    e = Engine()
+    link = make_link(e)
+    seen = []
+    link.transmit("a2b", 1000, "x", lambda: seen.append(("fwd", e.now)))
+    link.transmit("b2a", 1000, "x", lambda: seen.append(("rev", e.now)))
+    e.run()
+    assert seen[0][1] == pytest.approx(1.1)
+    assert seen[1][1] == pytest.approx(1.1)
+
+
+def test_failed_link_drops_at_submit():
+    e = Engine()
+    link = make_link(e)
+    link.fail()
+    assert not link.transmit("a2b", 100, "x", lambda: None)
+    assert link.frames_lost == 1
+
+
+def test_in_flight_frame_lost_on_failure():
+    e = Engine()
+    link = make_link(e)
+    seen = []
+    link.transmit("a2b", 500, "x", lambda: seen.append(1))
+    e.call_after(0.2, link.fail)  # frame arrives at 0.6
+    e.run()
+    assert seen == []
+    assert link.frames_lost == 1
+
+
+def test_repair_restores_service():
+    e = Engine()
+    link = make_link(e)
+    link.fail()
+    link.repair()
+    assert link.transmit("a2b", 100, "x", lambda: None)
+
+
+def test_intra_scope_fault_spares_http():
+    e = Engine()
+    link = make_link(e)
+    link.fail_for(intra_cluster_kind)
+    assert not link.carries("tcp-seg")
+    assert not link.carries("via-msg")
+    assert not link.carries("rdma-write")
+    assert link.carries("http-req")
+    assert link.carries("http-resp")
+    assert not link.up
+
+
+def test_loss_fn_drops_probabilistically():
+    e = Engine()
+    flags = iter([False, True, False])
+    link = make_link(e, loss_fn=lambda: next(flags))
+    delivered = []
+    for _ in range(3):
+        link.transmit("a2b", 10, "x", lambda: delivered.append(1))
+    e.run()
+    assert len(delivered) == 2
+    assert link.frames_lost == 1
+
+
+def test_validation():
+    e = Engine()
+    with pytest.raises(ValueError):
+        Link(e, "bad", bandwidth=0)
+    with pytest.raises(ValueError):
+        Link(e, "bad", latency=-1)
+
+
+def test_intra_cluster_kind_classification():
+    assert intra_cluster_kind("tcp-seg")
+    assert intra_cluster_kind("via-credit")
+    assert not intra_cluster_kind("http-req")
+    assert not intra_cluster_kind("http-reject")

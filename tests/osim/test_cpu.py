@@ -1,0 +1,163 @@
+"""Tests for the serial work queue (the PRESS main thread)."""
+
+import pytest
+
+from repro.osim.cpu import WorkQueue
+from repro.sim.engine import Engine
+
+
+def test_items_execute_serially_with_costs():
+    e = Engine()
+    q = WorkQueue(e)
+    done = []
+    q.submit(1.0, lambda: done.append(e.now))
+    q.submit(2.0, lambda: done.append(e.now))
+    e.run()
+    assert done == [1.0, 3.0]
+
+
+def test_submit_front_preempts_queue_order():
+    e = Engine()
+    q = WorkQueue(e)
+    order = []
+    # Once running, the first item completes, then front item runs.
+    q.submit(1.0, lambda: order.append("first"))
+    q.submit(1.0, lambda: order.append("second"))
+    q.submit_front(0.5, lambda: order.append("urgent"))
+    e.run()
+    # 'urgent' was queued at the head before execution started on it.
+    assert order.index("urgent") < order.index("second")
+
+
+def test_charge_consumes_time_before_next_item():
+    e = Engine()
+    q = WorkQueue(e)
+    times = []
+
+    def first():
+        q.charge(5.0)
+
+    q.submit(1.0, first)
+    q.submit(1.0, lambda: times.append(e.now))
+    e.run()
+    assert times == [7.0]  # 1 + 5 charge + 1
+
+
+def test_block_on_stalls_until_event():
+    e = Engine()
+    q = WorkQueue(e)
+    times = []
+    gate = e.event()
+
+    def blocker():
+        q.block_on(gate)
+
+    q.submit(1.0, blocker)
+    q.submit(1.0, lambda: times.append(e.now))
+    e.call_after(10.0, gate.succeed)
+    e.run()
+    assert times == [11.0]
+
+
+def test_double_block_raises():
+    e = Engine()
+    q = WorkQueue(e)
+    q.block_on(e.event())
+    with pytest.raises(RuntimeError):
+        q.block_on(e.event())
+
+
+def test_freeze_holds_work_until_unfreeze():
+    e = Engine()
+    q = WorkQueue(e)
+    times = []
+    q.submit(1.0, lambda: times.append(e.now))
+    q.freeze()
+    q.submit(1.0, lambda: times.append(e.now))
+    e.call_after(50.0, q.unfreeze)
+    e.run()
+    assert all(t >= 50.0 for t in times)
+    assert len(times) == 2
+
+
+def test_freeze_mid_item_requeues_it():
+    e = Engine()
+    q = WorkQueue(e)
+    done = []
+    q.submit(10.0, lambda: done.append(e.now))
+    e.call_after(5.0, q.freeze)
+    e.call_after(20.0, q.unfreeze)
+    e.run()
+    assert done and done[0] >= 20.0
+
+
+def test_kill_drops_all_work():
+    e = Engine()
+    q = WorkQueue(e)
+    done = []
+    q.submit(1.0, lambda: done.append(1))
+    q.submit(1.0, lambda: done.append(2))
+    q.kill()
+    e.run()
+    assert done == []
+    assert not q.alive
+    q.submit(1.0, lambda: done.append(3))  # ignored
+    e.run()
+    assert done == []
+
+
+def test_resurrect_gives_clean_queue():
+    e = Engine()
+    q = WorkQueue(e)
+    q.submit(1.0, lambda: None)
+    q.kill()
+    q.resurrect()
+    done = []
+    q.submit(1.0, lambda: done.append(e.now))
+    e.run()
+    assert len(done) == 1
+    assert q.alive
+
+
+def test_stale_unblock_after_kill_ignored():
+    e = Engine()
+    q = WorkQueue(e)
+    gate = e.event()
+    q.block_on(gate)
+    q.kill()
+    q.resurrect()
+    gate.succeed()  # stale: belongs to the dead incarnation
+    done = []
+    q.submit(1.0, lambda: done.append(1))
+    e.run()
+    assert done == [1]
+
+
+def test_items_submitted_from_within_items_run():
+    e = Engine()
+    q = WorkQueue(e)
+    done = []
+
+    def outer():
+        q.submit(2.0, lambda: done.append(e.now))
+
+    q.submit(1.0, outer)
+    e.run()
+    assert done == [3.0]
+
+
+def test_utilization_accounting():
+    e = Engine()
+    q = WorkQueue(e)
+    q.submit(3.0, lambda: None)
+    e.run(until=10.0)
+    assert q.utilization(10.0) == pytest.approx(0.3)
+    assert q.items_executed == 1
+
+
+def test_frozen_queue_accepts_submissions():
+    e = Engine()
+    q = WorkQueue(e)
+    q.freeze()
+    q.submit(1.0, lambda: None)
+    assert q.depth == 1

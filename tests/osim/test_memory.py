@@ -1,0 +1,113 @@
+"""Tests for kernel memory and pinnable-memory accounting."""
+
+import pytest
+
+from repro.osim.memory import KernelMemory, PinnableMemory
+
+
+class TestKernelMemory:
+    def test_alloc_and_free(self):
+        km = KernelMemory(total_bytes=100)
+        assert km.alloc(60)
+        assert km.allocated == 60
+        km.free(60)
+        assert km.allocated == 0
+
+    def test_alloc_fails_beyond_capacity(self):
+        km = KernelMemory(total_bytes=100)
+        assert not km.alloc(101)
+        assert km.failed_allocations == 1
+
+    def test_fault_fails_all_allocations(self):
+        km = KernelMemory()
+        km.inject_allocation_fault()
+        assert not km.alloc(1)
+        assert not km.probe(1)
+        assert km.available == 0
+
+    def test_clear_fault_restores(self):
+        km = KernelMemory()
+        km.inject_allocation_fault()
+        km.clear_fault()
+        assert km.alloc(1)
+        assert km.probe(1)
+
+    def test_probe_does_not_account(self):
+        km = KernelMemory(total_bytes=100)
+        assert km.probe(90)
+        assert km.probe(90)
+        assert km.allocated == 0
+
+    def test_probe_respects_capacity(self):
+        km = KernelMemory(total_bytes=100)
+        km.alloc(80)
+        assert not km.probe(30)
+
+    def test_free_more_than_allocated_raises(self):
+        km = KernelMemory()
+        with pytest.raises(ValueError):
+            km.free(1)
+
+    def test_negative_alloc_rejected(self):
+        km = KernelMemory()
+        with pytest.raises(ValueError):
+            km.alloc(-1)
+
+
+class TestPinnableMemory:
+    def test_limit_is_half_of_physical_by_default(self):
+        pm = PinnableMemory(physical_bytes=1000)
+        assert pm.limit == 500
+
+    def test_pin_within_limit(self):
+        pm = PinnableMemory(physical_bytes=1000)
+        assert pm.pin(400)
+        assert pm.pinned == 400
+        assert pm.headroom == 100
+
+    def test_pin_beyond_limit_fails(self):
+        pm = PinnableMemory(physical_bytes=1000)
+        assert not pm.pin(501)
+        assert pm.failed_pins == 1
+
+    def test_unpin(self):
+        pm = PinnableMemory(physical_bytes=1000)
+        pm.pin(400)
+        pm.unpin(150)
+        assert pm.pinned == 250
+
+    def test_unpin_more_than_pinned_raises(self):
+        pm = PinnableMemory()
+        with pytest.raises(ValueError):
+            pm.unpin(1)
+
+    def test_pin_fault_lowers_effective_limit(self):
+        pm = PinnableMemory(physical_bytes=1000)
+        pm.pin(300)
+        pm.inject_pin_fault(effective_limit=200)
+        assert not pm.pin(1)  # already over the new ceiling
+        assert pm.pinned == 300  # existing pins untouched
+        assert pm.effective_limit == 200
+
+    def test_pin_fault_harshest_setting(self):
+        pm = PinnableMemory(physical_bytes=1000)
+        pm.inject_pin_fault(0)
+        assert not pm.pin(1)
+
+    def test_clear_pin_fault(self):
+        pm = PinnableMemory(physical_bytes=1000)
+        pm.inject_pin_fault(0)
+        pm.clear_fault()
+        assert pm.pin(100)
+        assert not pm.fault_active
+
+    def test_effective_limit_never_exceeds_real_limit(self):
+        pm = PinnableMemory(physical_bytes=1000)
+        pm.inject_pin_fault(effective_limit=10_000)
+        assert pm.effective_limit == pm.limit
+
+    def test_limit_fraction_validation(self):
+        with pytest.raises(ValueError):
+            PinnableMemory(limit_fraction=0.0)
+        with pytest.raises(ValueError):
+            PinnableMemory(limit_fraction=1.5)

@@ -1,0 +1,130 @@
+"""Tests for processes, signals, and the restart daemon."""
+
+import pytest
+
+from repro.osim.process import ProcessState, RestartDaemon, SimProcess
+from repro.sim.engine import Engine
+
+
+def test_start_runs_hooks_and_bumps_incarnation():
+    e = Engine()
+    p = SimProcess(e, "p")
+    starts = []
+    p.on_start.append(lambda: starts.append(p.incarnation))
+    p.start()
+    assert p.running
+    assert starts == [1]
+
+
+def test_double_start_rejected():
+    e = Engine()
+    p = SimProcess(e, "p")
+    p.start()
+    with pytest.raises(RuntimeError):
+        p.start()
+
+
+def test_exit_records_reason_and_fires_hooks():
+    e = Engine()
+    p = SimProcess(e, "p")
+    deaths = []
+    p.on_death.append(deaths.append)
+    p.start()
+    p.exit("segfault")
+    assert not p.alive
+    assert p.death_reason == "segfault"
+    assert deaths == ["segfault"]
+
+
+def test_exit_idempotent():
+    e = Engine()
+    p = SimProcess(e, "p")
+    deaths = []
+    p.on_death.append(deaths.append)
+    p.start()
+    p.exit("a")
+    p.exit("b")
+    assert deaths == ["a"]
+    assert p.death_reason == "a"
+
+
+def test_sigstop_sigcont_cycle():
+    e = Engine()
+    p = SimProcess(e, "p")
+    events = []
+    p.on_stop.append(lambda: events.append("stop"))
+    p.on_cont.append(lambda: events.append("cont"))
+    p.start()
+    p.sigstop()
+    assert p.state is ProcessState.STOPPED
+    assert p.alive and not p.running
+    p.sigcont()
+    assert p.running
+    assert events == ["stop", "cont"]
+
+
+def test_signals_on_dead_process_are_noops():
+    e = Engine()
+    p = SimProcess(e, "p")
+    p.sigstop()
+    p.sigcont()
+    assert p.state is ProcessState.DEAD
+
+
+def test_sigcont_without_stop_is_noop():
+    e = Engine()
+    p = SimProcess(e, "p")
+    p.start()
+    conts = []
+    p.on_cont.append(lambda: conts.append(1))
+    p.sigcont()
+    assert conts == []
+
+
+def test_daemon_restarts_after_delay():
+    e = Engine()
+    p = SimProcess(e, "p")
+    daemon = RestartDaemon(e, p, restart_delay=5.0)
+    p.start()
+    e.call_after(10.0, p.sigkill)
+    e.run()
+    assert p.running
+    assert p.incarnation == 2
+    assert daemon.restarts == 1
+
+
+def test_disabled_daemon_does_not_restart():
+    e = Engine()
+    p = SimProcess(e, "p")
+    daemon = RestartDaemon(e, p, restart_delay=5.0)
+    p.start()
+    daemon.disable()
+    e.call_after(1.0, p.sigkill)
+    e.run()
+    assert not p.alive
+
+
+def test_enable_restarts_a_dead_process():
+    e = Engine()
+    p = SimProcess(e, "p")
+    daemon = RestartDaemon(e, p, restart_delay=2.0)
+    p.start()
+    daemon.disable()
+    p.sigkill()
+    e.run()
+    assert not p.alive
+    daemon.enable()
+    e.run()
+    assert p.running
+
+
+def test_daemon_skips_if_manually_restarted():
+    e = Engine()
+    p = SimProcess(e, "p")
+    daemon = RestartDaemon(e, p, restart_delay=5.0)
+    p.start()
+    p.sigkill()
+    p.start()  # manual restart before the daemon timer fires
+    e.run()
+    assert daemon.restarts == 0
+    assert p.incarnation == 2

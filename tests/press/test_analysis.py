@@ -1,0 +1,55 @@
+"""Tests for the analytic capacity estimator."""
+
+import pytest
+
+from repro.press.analysis import CapacityEstimate, estimate_capacity
+from repro.press.config import TCP_PRESS, VIA_PRESS_5
+from repro.workload.trace import FileSet
+
+
+def test_offered_rate_scales_with_utilization():
+    est = estimate_capacity(TCP_PRESS, FileSet(), 4)
+    assert est.offered_rate(0.5) == pytest.approx(est.cluster_capacity / 2)
+    assert est.offered_rate(1.0) == pytest.approx(est.cluster_capacity)
+
+
+def test_capacity_scales_with_node_count():
+    fs = FileSet()
+    two = estimate_capacity(TCP_PRESS, fs, 2)
+    four = estimate_capacity(TCP_PRESS, fs, 4)
+    # More nodes: more CPU, but also a higher forward fraction, so the
+    # gain is sublinear — between 1x and 2x.
+    assert four.cluster_capacity > two.cluster_capacity
+    assert four.cluster_capacity < 2 * two.cluster_capacity
+
+
+def test_forward_fraction():
+    fs = FileSet()
+    assert estimate_capacity(TCP_PRESS, fs, 4).forward_fraction == 0.75
+    assert estimate_capacity(TCP_PRESS, fs, 1).forward_fraction == 0.0
+
+
+def test_bigger_files_cost_more_for_copying_transports():
+    small = estimate_capacity(TCP_PRESS, FileSet(file_bytes=1024), 4)
+    big = estimate_capacity(TCP_PRESS, FileSet(file_bytes=65536), 4)
+    assert big.per_request_cpu > small.per_request_cpu
+
+    # Zero-copy only pays fixed per-message costs for the data path, so
+    # file size moves its capacity much less.
+    v5_small = estimate_capacity(VIA_PRESS_5, FileSet(file_bytes=1024), 4)
+    v5_big = estimate_capacity(VIA_PRESS_5, FileSet(file_bytes=65536), 4)
+    tcp_drop = small.cluster_capacity / big.cluster_capacity
+    v5_drop = v5_small.cluster_capacity / v5_big.cluster_capacity
+    assert v5_drop < tcp_drop
+
+
+def test_estimate_matches_measured_saturation():
+    """The estimator's purpose: predict where the simulation saturates."""
+    from repro.press.cluster import SMOKE_SCALE, PressCluster
+
+    cluster = PressCluster(TCP_PRESS, scale=SMOKE_SCALE, seed=2, utilization=1.2)
+    cluster.start()
+    cluster.run_until(80.0)
+    measured = cluster.measured_rate(30.0, 80.0)
+    predicted = cluster.capacity.cluster_capacity * cluster.scale.report_factor
+    assert measured == pytest.approx(predicted, rel=0.08)

@@ -1,0 +1,78 @@
+"""Tests for the version matrix and cost scaling."""
+
+import pytest
+
+from repro.press.analysis import estimate_capacity
+from repro.press.config import (
+    ALL_VERSIONS,
+    PAPER_TABLE1_THROUGHPUT,
+    TCP_PRESS,
+    TCP_PRESS_HB,
+    VIA_PRESS_0,
+    VIA_PRESS_3,
+    VIA_PRESS_5,
+)
+from repro.workload.trace import FileSet
+
+
+def test_version_matrix_matches_table1():
+    assert TCP_PRESS.substrate == "tcp" and not TCP_PRESS.use_heartbeats
+    assert TCP_PRESS_HB.substrate == "tcp" and TCP_PRESS_HB.use_heartbeats
+    assert VIA_PRESS_0.substrate == "via" and not VIA_PRESS_0.remote_writes
+    assert VIA_PRESS_3.remote_writes and not VIA_PRESS_3.zero_copy
+    assert VIA_PRESS_5.remote_writes and VIA_PRESS_5.zero_copy
+    assert set(ALL_VERSIONS) == set(PAPER_TABLE1_THROUGHPUT)
+
+
+def test_heartbeat_threshold_is_three_beats_of_five_seconds():
+    """The paper's 15-second detection comes from 3 x 5s."""
+    assert TCP_PRESS_HB.heartbeat_interval == 5.0
+    assert TCP_PRESS_HB.heartbeat_threshold == 3
+
+
+def test_capacity_estimates_match_paper_within_3pct():
+    fs = FileSet()
+    for name, cfg in ALL_VERSIONS.items():
+        est = estimate_capacity(cfg, fs, 4)
+        paper = PAPER_TABLE1_THROUGHPUT[name]
+        assert est.cluster_capacity == pytest.approx(paper, rel=0.03), name
+
+
+def test_capacity_ordering_matches_paper():
+    fs = FileSet()
+    caps = {
+        name: estimate_capacity(cfg, fs, 4).cluster_capacity
+        for name, cfg in ALL_VERSIONS.items()
+    }
+    assert (
+        caps["TCP-PRESS"]
+        < caps["VIA-PRESS-0"]
+        < caps["VIA-PRESS-3"]
+        < caps["VIA-PRESS-5"]
+    )
+
+
+def test_scaling_divides_capacity_exactly_by_factor():
+    fs_full = FileSet(file_bytes=10_240)
+    fs_scaled = FileSet(file_bytes=1024)
+    full = estimate_capacity(TCP_PRESS, fs_full, 4).cluster_capacity
+    scaled = estimate_capacity(
+        TCP_PRESS.scaled(10.0), fs_scaled, 4
+    ).cluster_capacity
+    assert scaled * 10 == pytest.approx(full, rel=0.02)
+
+
+def test_scaling_identity_at_factor_one():
+    assert TCP_PRESS.scaled(1.0) is TCP_PRESS
+
+
+def test_single_node_capacity_has_no_forwarding():
+    fs = FileSet()
+    est = estimate_capacity(TCP_PRESS, fs, 1)
+    assert est.forward_fraction == 0.0
+
+
+def test_zero_copy_version_has_no_per_byte_costs():
+    assert VIA_PRESS_5.transport_costs.send_copy_per_byte == 0.0
+    assert VIA_PRESS_5.http.respond_per_byte == 0.0
+    assert VIA_PRESS_3.transport_costs.send_copy_per_byte > 0.0

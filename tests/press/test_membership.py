@@ -1,0 +1,227 @@
+"""Tests for the membership protocol: ring, heartbeats, join/exclude."""
+
+from typing import Dict, List
+
+import pytest
+
+from repro.osim.process import SimProcess
+from repro.press.membership import Membership
+from repro.sim.engine import Engine
+from repro.transports.base import Message
+
+
+class Net:
+    """An in-memory datagram network connecting Membership instances."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.members: Dict[str, Membership] = {}
+        self.dropped = set()  # node ids whose datagrams are dropped
+
+    def sender(self, from_id: str):
+        def send(to: str, msg: Message) -> None:
+            if from_id in self.dropped or to in self.dropped:
+                return
+            target = self.members.get(to)
+            if target is None or not target.process.running:
+                return
+            self.engine.call_soon(target.handle_datagram, from_id, msg)
+
+        return send
+
+
+def build(engine, ids=("n0", "n1", "n2", "n3"), heartbeats=True):
+    net = Net(engine)
+    events: List[tuple] = []
+    for nid in ids:
+        proc = SimProcess(engine, nid)
+        proc.start()
+        m = Membership(
+            engine=engine,
+            self_id=nid,
+            all_ids=list(ids),
+            process=proc,
+            send_datagram=None,  # wired below
+            use_heartbeats=heartbeats,
+            heartbeat_interval=5.0,
+            heartbeat_threshold=3,
+            join_retry_interval=2.0,
+            join_max_retries=3,
+            on_exclude=lambda peer, why, n=nid: events.append(("exclude", n, peer)),
+            on_include=lambda peer, n=nid: events.append(("include", n, peer)),
+            on_joined=lambda members, n=nid: events.append(("joined", n)),
+            on_join_gave_up=lambda n=nid: events.append(("gave-up", n)),
+            connect_to=lambda peer, cb, n=nid: engine.call_soon(
+                _fake_connect, net, n, peer, cb
+            ),
+            annotate=lambda label, detail: None,
+        )
+        m.send_datagram = net.sender(nid)
+        net.members[nid] = m
+    return net, events
+
+
+def _fake_connect(net, from_id, peer, cb) -> None:
+    """Successful connect also triggers the acceptor's include."""
+    target = net.members.get(peer)
+    if target is not None and target.process.running and from_id not in net.dropped:
+        target.include(from_id)
+        cb(True)
+    else:
+        cb(False)
+
+
+def bootstrap_all(net):
+    for m in net.members.values():
+        m.bootstrap()
+
+
+def test_ring_geometry():
+    e = Engine()
+    net, _ = build(e)
+    bootstrap_all(net)
+    m = net.members["n1"]
+    assert m.successor() == "n2"
+    assert m.predecessor() == "n0"
+    assert net.members["n3"].successor() == "n0"
+
+
+def test_singleton_has_no_ring():
+    e = Engine()
+    net, _ = build(e, ids=("n0",))
+    net.members["n0"].bootstrap()
+    assert net.members["n0"].successor() is None
+    assert net.members["n0"].predecessor() is None
+    assert net.members["n0"].singleton
+
+
+def test_exclusion_broadcast_converges_views():
+    e = Engine()
+    net, events = build(e)
+    bootstrap_all(net)
+    net.members["n1"].exclude("n2", "test")
+    e.run(until=1.0)
+    for nid in ("n0", "n1", "n3"):
+        assert "n2" not in net.members[nid].members, nid
+
+
+def test_exclude_self_and_nonmember_are_noops():
+    e = Engine()
+    net, _ = build(e)
+    bootstrap_all(net)
+    m = net.members["n0"]
+    m.exclude("n0", "x")
+    m.exclude("n9", "x")
+    assert len(m.members) == 4
+
+
+def test_heartbeats_keep_healthy_cluster_intact():
+    e = Engine()
+    net, events = build(e)
+    bootstrap_all(net)
+    e.run(until=120.0)
+    assert all(len(m.members) == 4 for m in net.members.values())
+    assert not [ev for ev in events if ev[0] == "exclude"]
+
+
+def test_silent_node_excluded_after_three_missed_beats():
+    e = Engine()
+    net, events = build(e)
+    bootstrap_all(net)
+    e.call_after(20.0, net.members["n2"].process.sigstop)
+    e.run(until=60.0)
+    # n3 (successor of n2) misses 3 beats -> excludes n2 at ~35-40s.
+    assert ("exclude", "n3", "n2") in events
+    for nid in ("n0", "n1", "n3"):
+        assert "n2" not in net.members[nid].members
+
+
+def test_detection_latency_is_about_fifteen_seconds():
+    e = Engine()
+    net, events = build(e)
+    bootstrap_all(net)
+    timestamps = []
+    net.members["n3"].on_exclude = lambda p, w: timestamps.append(e.now)
+    e.call_after(17.5, net.members["n2"].process.sigstop)  # between beats
+    e.run(until=60.0)
+    assert timestamps
+    delay = timestamps[0] - 17.5
+    assert 10.0 <= delay <= 25.0  # 3 beats of 5s, phase-dependent
+
+
+def test_no_heartbeats_no_detection():
+    e = Engine()
+    net, events = build(e, heartbeats=False)
+    bootstrap_all(net)
+    e.call_after(10.0, net.members["n2"].process.sigstop)
+    e.run(until=100.0)
+    assert not [ev for ev in events if ev[0] == "exclude"]
+
+
+def test_join_answered_by_lowest_id_member():
+    e = Engine()
+    net, events = build(e)
+    bootstrap_all(net)
+    for m in net.members.values():
+        m.exclude("n3", "crash", broadcast=False)
+    net.members["n3"].process.exit("crash")
+    net.members["n3"].process.start()
+    net.members["n3"].start_join()
+    e.run(until=10.0)
+    assert ("joined", "n3") in events
+    assert sorted(net.members["n3"].members) == ["n0", "n1", "n2", "n3"]
+
+
+def test_join_disregarded_while_still_a_member():
+    """The paper's hard-reboot timing hole: join requests from a node the
+    cluster still believes to be a member are ignored."""
+    e = Engine()
+    net, events = build(e)
+    bootstrap_all(net)
+    # n3 restarts but nobody noticed it ever left.
+    net.members["n3"].process.exit("crash")
+    net.members["n3"].process.start()
+    net.members["n3"].start_join()
+    e.run(until=30.0)
+    assert ("gave-up", "n3") in events
+    assert net.members["n3"].members == ["n3"]
+
+
+def test_join_gives_up_after_max_retries():
+    e = Engine()
+    net, events = build(e, ids=("n0", "n1"))
+    net.members["n0"].bootstrap()
+    net.dropped.add("n1")  # all of n1's datagrams vanish
+    net.members["n1"].start_join()
+    e.run(until=60.0)
+    assert ("gave-up", "n1") in events
+
+
+def test_ring_reforms_after_exclusion():
+    e = Engine()
+    net, _ = build(e)
+    bootstrap_all(net)
+    net.members["n1"].exclude("n2", "x")
+    e.run(until=1.0)
+    assert net.members["n1"].successor() == "n3"
+    assert net.members["n3"].predecessor() == "n1"
+
+
+def test_include_is_idempotent():
+    e = Engine()
+    net, events = build(e)
+    bootstrap_all(net)
+    net.members["n0"].include("n1")  # already a member
+    assert net.members["n0"].members.count("n1") == 1
+
+
+def test_stale_timers_die_with_incarnation():
+    e = Engine()
+    net, events = build(e)
+    bootstrap_all(net)
+    proc = net.members["n0"].process
+    proc.exit("crash")
+    proc.start()
+    # Old incarnation's heartbeat timers must not fire for the new one.
+    e.run(until=60.0)  # would raise / misbehave if stale timers acted
+    assert proc.incarnation == 2

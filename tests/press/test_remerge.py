@@ -1,0 +1,83 @@
+"""Tests for the automatic partition re-merge extension."""
+
+import dataclasses
+
+import pytest
+
+from repro.faults.spec import FaultKind, FaultSpec
+from repro.press.cluster import SMOKE_SCALE, PressCluster
+from repro.press.config import TCP_PRESS_HB, VIA_PRESS_5
+
+FULL = ["node0", "node1", "node2", "node3"]
+
+
+def make(config, **kw):
+    c = PressCluster(config, scale=SMOKE_SCALE, seed=17, **kw)
+    c.start()
+    return c
+
+
+def remerge_config(base):
+    return dataclasses.replace(
+        base, auto_remerge=True, remerge_probe_interval=10.0
+    )
+
+
+def test_stock_press_stays_partitioned():
+    c = make(VIA_PRESS_5)
+    c.mendosus.schedule(
+        FaultSpec(FaultKind.LINK_DOWN, target="node2", at=30.0, duration=30.0)
+    )
+    c.run_until(200.0)
+    assert c.is_partitioned()
+
+
+def test_remerge_heals_link_fault_splinter():
+    c = make(remerge_config(VIA_PRESS_5))
+    c.mendosus.schedule(
+        FaultSpec(FaultKind.LINK_DOWN, target="node2", at=30.0, duration=30.0)
+    )
+    c.run_until(200.0)
+    assert not c.is_partitioned()
+    assert {n: sorted(s.members) for n, s in c.servers.items()} == {
+        n: FULL for n in FULL
+    }
+    assert c.annotations.first("auto-remerge") is not None
+
+
+def test_minority_side_yields():
+    """The singleton restarts; the 3-node partition keeps its processes."""
+    c = make(remerge_config(VIA_PRESS_5))
+    c.mendosus.schedule(
+        FaultSpec(FaultKind.LINK_DOWN, target="node2", at=30.0, duration=30.0)
+    )
+    c.run_until(200.0)
+    assert c.nodes["node2"].process.incarnation >= 2
+    for nid in ("node0", "node1", "node3"):
+        assert c.nodes[nid].process.incarnation == 1
+
+
+def test_remerge_heals_hb_hang_splinter():
+    c = make(remerge_config(TCP_PRESS_HB))
+    c.mendosus.schedule(
+        FaultSpec(FaultKind.APP_HANG, target="node2", at=30.0, duration=40.0)
+    )
+    c.run_until(250.0)
+    assert not c.is_partitioned()
+
+
+def test_remerge_heals_stranded_rejoin():
+    """The Figure-3 stranded TCP-PRESS singleton folds back in."""
+    from repro.press.config import TCP_PRESS
+
+    c = make(remerge_config(TCP_PRESS))
+    c.mendosus.schedule(FaultSpec(FaultKind.NODE_CRASH, target="node2", at=30.0))
+    c.run_until(350.0)
+    assert not c.is_partitioned()
+
+
+def test_no_probes_while_whole():
+    c = make(remerge_config(VIA_PRESS_5))
+    c.run_until(120.0)
+    assert all(s.membership.remerges == 0 for s in c.servers.values())
+    assert all(n.process.incarnation == 1 for n in c.nodes.values())

@@ -1,0 +1,89 @@
+"""Unit tests for the re-merge yield decision (pure protocol logic)."""
+
+import pytest
+
+from repro.osim.process import SimProcess
+from repro.press.membership import Membership
+from repro.sim.engine import Engine
+
+
+def make_membership(engine, self_id, members, auto_remerge=True):
+    proc = SimProcess(engine, self_id)
+    proc.start()
+    sent = []
+    m = Membership(
+        engine=engine,
+        self_id=self_id,
+        all_ids=["n0", "n1", "n2", "n3"],
+        process=proc,
+        send_datagram=lambda to, msg: sent.append((to, msg.msg_type)),
+        use_heartbeats=False,
+        heartbeat_interval=5.0,
+        heartbeat_threshold=3,
+        join_retry_interval=2.0,
+        join_max_retries=3,
+        on_exclude=lambda p, w: None,
+        on_include=lambda p: None,
+        on_joined=lambda ms: None,
+        on_join_gave_up=lambda: None,
+        connect_to=lambda p, cb: cb(True),
+        annotate=lambda l, d: None,
+        auto_remerge=auto_remerge,
+    )
+    m._incarnation = proc.incarnation
+    m.members = list(members)
+    m._sent = sent
+    return m
+
+
+def test_smaller_partition_yields():
+    e = Engine()
+    m = make_membership(e, "n2", ["n2"])
+    m._handle_remerge_info(["n0", "n1", "n3"])
+    assert not m.process.alive
+    assert m.remerges == 1
+
+
+def test_larger_partition_stands():
+    e = Engine()
+    m = make_membership(e, "n0", ["n0", "n1", "n3"])
+    m._handle_remerge_info(["n2"])
+    assert m.process.alive
+    assert m.remerges == 0
+
+
+def test_tie_breaks_on_minimum_id():
+    e = Engine()
+    # Equal sizes: the partition whose min id is larger yields.
+    loser = make_membership(e, "n2", ["n2", "n3"])
+    loser._handle_remerge_info(["n0", "n1"])
+    assert not loser.process.alive
+
+    winner = make_membership(e, "n0", ["n0", "n1"])
+    winner._handle_remerge_info(["n2", "n3"])
+    assert winner.process.alive
+
+
+def test_overlapping_views_never_trigger():
+    """Stale probe data naming one of our own members must be ignored."""
+    e = Engine()
+    m = make_membership(e, "n0", ["n0", "n1"])
+    m._handle_remerge_info(["n1", "n2", "n3"])
+    assert m.process.alive
+
+
+def test_disabled_extension_never_yields():
+    e = Engine()
+    m = make_membership(e, "n2", ["n2"], auto_remerge=False)
+    m._handle_remerge_info(["n0", "n1", "n3"])
+    assert m.process.alive
+
+
+def test_probe_answered_only_for_excluded_nodes():
+    e = Engine()
+    m = make_membership(e, "n0", ["n0", "n1"])
+    m._handle_remerge_probe("n2")  # excluded: gets an info reply
+    assert ("n2", "remerge-info") in m._sent
+    del m._sent[:]
+    m._handle_remerge_probe("n1")  # current member: no reply
+    assert m._sent == []

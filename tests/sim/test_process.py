@@ -1,0 +1,258 @@
+"""Tests for generator-coroutine processes."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.process import Interrupted, all_of, any_of, spawn
+
+
+def test_sleep_advances_time():
+    e = Engine()
+    seen = []
+
+    def proc():
+        yield 2.0
+        seen.append(e.now)
+        yield 3.0
+        seen.append(e.now)
+
+    spawn(e, proc())
+    e.run()
+    assert seen == [2.0, 5.0]
+
+
+def test_return_value_captured():
+    e = Engine()
+
+    def proc():
+        yield 1.0
+        return "result"
+
+    p = spawn(e, proc())
+    e.run()
+    assert p.triggered and p.ok
+    assert p.value == "result"
+
+
+def test_wait_on_event_receives_value():
+    e = Engine()
+    ev = e.event()
+    seen = []
+
+    def proc():
+        got = yield ev
+        seen.append(got)
+
+    spawn(e, proc())
+    e.call_after(3.0, ev.succeed, "hello")
+    e.run()
+    assert seen == ["hello"]
+
+
+def test_failed_event_raises_in_process():
+    e = Engine()
+    ev = e.event()
+    seen = []
+
+    def proc():
+        try:
+            yield ev
+        except ValueError as err:
+            seen.append(str(err))
+
+    spawn(e, proc())
+    e.call_after(1.0, ev.fail, ValueError("bad"))
+    e.run()
+    assert seen == ["bad"]
+
+
+def test_process_waits_on_process():
+    e = Engine()
+
+    def child():
+        yield 5.0
+        return 42
+
+    def parent():
+        value = yield spawn(e, child())
+        return value * 2
+
+    p = spawn(e, parent())
+    e.run()
+    assert p.value == 84
+
+
+def test_exception_propagates_to_done_event():
+    e = Engine()
+
+    def proc():
+        yield 1.0
+        raise RuntimeError("kaput")
+
+    p = spawn(e, proc())
+    e.run()
+    assert p.triggered and not p.ok
+    assert isinstance(p.value, RuntimeError)
+
+
+def test_yield_none_is_scheduler_turn():
+    e = Engine()
+    seen = []
+
+    def proc():
+        yield None
+        seen.append(e.now)
+
+    spawn(e, proc())
+    e.run()
+    assert seen == [0.0]
+
+
+def test_negative_sleep_fails_process():
+    e = Engine()
+
+    def proc():
+        yield -1.0
+
+    p = spawn(e, proc())
+    e.run()
+    assert p.triggered and not p.ok
+    assert isinstance(p.value, SimulationError)
+
+
+def test_yield_garbage_fails_process():
+    e = Engine()
+
+    def proc():
+        yield "nonsense"
+
+    p = spawn(e, proc())
+    e.run()
+    assert not p.ok
+    assert isinstance(p.value, SimulationError)
+
+
+def test_interrupt_wakes_sleeping_process():
+    e = Engine()
+    seen = []
+
+    def proc():
+        try:
+            yield 100.0
+        except Interrupted as intr:
+            seen.append((e.now, intr.cause))
+
+    p = spawn(e, proc())
+    e.call_after(2.0, p.interrupt, "wake up")
+    e.run()
+    assert seen == [(2.0, "wake up")]
+
+
+def test_interrupt_dead_process_is_noop():
+    e = Engine()
+
+    def proc():
+        yield 1.0
+
+    p = spawn(e, proc())
+    e.run()
+    p.interrupt()  # should not raise
+    e.run()
+
+
+def test_uncaught_interrupt_fails_process():
+    e = Engine()
+
+    def proc():
+        yield 100.0
+
+    p = spawn(e, proc())
+    e.call_after(1.0, p.interrupt)
+    e.run()
+    assert not p.ok
+    assert isinstance(p.value, Interrupted)
+
+
+def test_stale_wakeup_after_interrupt_ignored():
+    e = Engine()
+    wakeups = []
+
+    def proc():
+        try:
+            yield 10.0
+        except Interrupted:
+            pass
+        yield 5.0
+        wakeups.append(e.now)
+
+    p = spawn(e, proc())
+    e.call_after(1.0, p.interrupt)
+    e.run()
+    # Interrupted at 1.0, then sleeps 5 -> resumes once at 6.0; the stale
+    # 10.0 wake-up must not resume it a second time.
+    assert wakeups == [6.0]
+    assert p.ok
+
+
+def test_all_of_collects_values_in_order():
+    e = Engine()
+
+    def make(delay, value):
+        def proc():
+            yield delay
+            return value
+
+        return spawn(e, proc())
+
+    procs = [make(3.0, "a"), make(1.0, "b"), make(2.0, "c")]
+    done = all_of(e, procs)
+    seen = []
+    done.add_callback(lambda ev: seen.append((e.now, ev.value)))
+    e.run()
+    assert seen == [(3.0, ["a", "b", "c"])]
+
+
+def test_all_of_empty_succeeds_immediately():
+    e = Engine()
+    done = all_of(e, [])
+    assert done.triggered and done.value == []
+
+
+def test_all_of_fails_fast():
+    e = Engine()
+
+    def failing():
+        yield 1.0
+        raise ValueError("x")
+
+    def slow():
+        yield 10.0
+
+    done = all_of(e, [spawn(e, failing()), spawn(e, slow())])
+    seen = []
+    done.add_callback(lambda ev: seen.append((e.now, ev.ok)))
+    e.run()
+    assert seen == [(1.0, False)]
+
+
+def test_any_of_returns_first():
+    e = Engine()
+
+    def make(delay, value):
+        def proc():
+            yield delay
+            return value
+
+        return spawn(e, proc())
+
+    done = any_of(e, [make(5.0, "slow"), make(2.0, "fast")])
+    seen = []
+    done.add_callback(lambda ev: seen.append(ev.value))
+    e.run()
+    assert seen == [(1, "fast")]
+
+
+def test_any_of_requires_waitables():
+    e = Engine()
+    with pytest.raises(SimulationError):
+        any_of(e, [])

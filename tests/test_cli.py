@@ -1,0 +1,60 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    main(list(argv))
+    return capsys.readouterr().out
+
+
+FAST = ["--scale", "200", "--seed", "3", "--replications", "1"]
+
+
+def test_parser_rejects_missing_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_accepts_global_flags():
+    args = build_parser().parse_args(
+        ["--scale", "50", "--seed", "9", "table1"]
+    )
+    assert args.scale == 50.0
+    assert args.seed == 9
+    assert args.command == "table1"
+
+
+def test_table1_command(capsys):
+    out = run_cli(capsys, *FAST, "table1")
+    assert "VIA-PRESS-5" in out
+    assert "paper" in out
+
+
+def test_timeline_command(capsys):
+    out = run_cli(
+        capsys, *FAST, "timeline",
+        "--version", "VIA-PRESS-0", "--fault", "application-crash",
+    )
+    assert "VIA-PRESS-0 / application-crash" in out
+    assert "availability over the run" in out
+
+
+def test_timeline_rejects_unknown_fault():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(
+            ["timeline", "--version", "X", "--fault", "not-a-fault"]
+        )
+
+
+def test_figure_command_rejects_unknown_number():
+    with pytest.raises(SystemExit):
+        main([*FAST, "figure", "11"])
+
+
+def test_figure5_command(capsys):
+    out = run_cli(capsys, *FAST, "figure", "5")
+    assert "bad-param-null-pointer" in out
+    assert "TCP-PRESS" in out

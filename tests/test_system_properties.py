@@ -1,0 +1,132 @@
+"""System-level property tests: invariants that must survive ANY fault.
+
+These drive whole clusters through randomized fault sequences and check
+conservation/consistency properties — the closest thing a simulation has
+to chaos engineering.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.faults.spec import FaultKind, FaultSpec
+from repro.press.cluster import SMOKE_SCALE, PressCluster
+from repro.press.config import TCP_PRESS, TCP_PRESS_HB, VIA_PRESS_5
+
+INJECTABLE = [
+    FaultKind.LINK_DOWN,
+    FaultKind.NODE_CRASH,
+    FaultKind.NODE_FREEZE,
+    FaultKind.KERNEL_MEMORY,
+    FaultKind.MEMORY_PINNING,
+    FaultKind.APP_CRASH,
+    FaultKind.APP_HANG,
+    FaultKind.BAD_PARAM_NULL,
+    FaultKind.BAD_PARAM_OFFSET,
+    FaultKind.BAD_PARAM_SIZE,
+]
+
+fault_events = st.lists(
+    st.tuples(
+        st.sampled_from(INJECTABLE),
+        st.integers(min_value=0, max_value=3),  # target node index
+        st.floats(min_value=10.0, max_value=60.0),  # injection time
+        st.floats(min_value=5.0, max_value=25.0),  # duration
+    ),
+    min_size=0,
+    max_size=3,
+)
+
+
+def run_with_faults(config, events, seed, until=120.0):
+    cluster = PressCluster(config, scale=SMOKE_SCALE, seed=seed)
+    cluster.start()
+    for kind, node_idx, at, duration in events:
+        cluster.mendosus.schedule(
+            FaultSpec(
+                kind=kind,
+                target=f"node{node_idx}",
+                at=at,
+                duration=duration,
+            )
+        )
+    cluster.run_until(until)
+    return cluster
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(events=fault_events, seed=st.integers(min_value=0, max_value=50))
+def test_request_conservation_under_arbitrary_faults(events, seed):
+    """Every issued request ends exactly one way: success, failure, or
+    still pending — no request is ever double-counted or lost."""
+    cluster = run_with_faults(VIA_PRESS_5, events, seed)
+    issued = sum(
+        c.completed + len(c._pending) for c in cluster.workload.clients
+    ) + cluster.monitor.total_failed
+    accounted = (
+        cluster.monitor.total_ok
+        + cluster.monitor.total_failed
+        + sum(len(c._pending) for c in cluster.workload.clients)
+    )
+    assert cluster.monitor.total_ok == sum(
+        c.completed for c in cluster.workload.clients
+    )
+    assert issued == accounted
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(events=fault_events, seed=st.integers(min_value=0, max_value=50))
+def test_membership_views_stay_consistent(events, seed):
+    """No running server ever lists a node the node registry doesn't
+    know, never duplicates a member, and always lists itself."""
+    cluster = run_with_faults(TCP_PRESS_HB, events, seed)
+    for node_id, server in cluster.servers.items():
+        if not cluster.nodes[node_id].process.running:
+            continue
+        members = server.members
+        assert len(members) == len(set(members)), members
+        assert node_id in members
+        assert set(members) <= set(cluster.node_ids)
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(events=fault_events, seed=st.integers(min_value=0, max_value=50))
+def test_pinned_memory_never_exceeds_limit(events, seed):
+    """Across any fault sequence, pinned bytes respect the kernel cap
+    and cache accounting stays exact."""
+    cluster = run_with_faults(VIA_PRESS_5, events, seed)
+    for node_id, node in cluster.nodes.items():
+        assert 0 <= node.pinnable.pinned <= node.pinnable.limit
+        server = cluster.servers[node_id]
+        if node.process.running and server.cache is not None:
+            assert server.cache.used_bytes <= server.cache.capacity_bytes
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(events=fault_events, seed=st.integers(min_value=0, max_value=50))
+def test_simulation_always_makes_progress(events, seed):
+    """No fault sequence deadlocks the virtual clock, and after the
+    faults clear plus slack, running servers serve again."""
+    cluster = run_with_faults(TCP_PRESS, events, seed, until=100.0)
+    before = cluster.monitor.total
+    cluster.run_until(220.0)
+    # Clients keep issuing; SOMETHING must resolve (even as failures).
+    assert cluster.monitor.total > before

@@ -1,0 +1,75 @@
+"""Fixtures for transport tests: wired node pairs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.fabric import Fabric
+from repro.osim.node import Node
+from repro.sim.engine import Engine
+from repro.transports.tcp import TcpParams, TcpTransport
+from repro.transports.via import ViaParams, ViaTransport
+
+#: Small buffers so backpressure tests stall quickly.
+SMALL_TCP = TcpParams(
+    segment_size=1024,
+    sndbuf_bytes=4096,
+    rcvbuf_bytes=4096,
+    window_bytes=4096,
+    rto_initial=0.2,
+    rto_max=5.0,
+)
+
+SMALL_VIA = ViaParams(credits=4, buffer_bytes=4096, app_queue_limit=16)
+
+
+class Pair:
+    """Two nodes with transports and capture hooks."""
+
+    def __init__(self, engine, transport_cls, **kw):
+        self.engine = engine
+        self.fabric = Fabric(engine)
+        self.nodes = {}
+        self.transports = {}
+        self.messages = {"a": [], "b": []}
+        self.breaks = {"a": [], "b": []}
+        self.fatals = {"a": [], "b": []}
+        self.datagrams = {"a": [], "b": []}
+        for name in ("a", "b"):
+            node = Node(engine, name, self.fabric.attach(name))
+            node.process.start()
+            self.nodes[name] = node
+            t = transport_cls(engine, node, **kw)
+            t.on_message = lambda peer, msg, n=name: self.messages[n].append(
+                (peer, msg)
+            )
+            t.on_break = lambda peer, why, n=name: self.breaks[n].append(
+                (peer, why)
+            )
+            t.on_fatal = lambda why, n=name: self.fatals[n].append(why)
+            t.on_datagram = lambda peer, msg, n=name: self.datagrams[n].append(
+                (peer, msg)
+            )
+            self.transports[name] = t
+
+    def connect(self, run_for: float = 1.0):
+        results = []
+        ch = self.transports["a"].connect("b", results.append)
+        self.engine.run(until=self.engine.now + run_for)
+        assert results == [True], f"connect failed: {results}"
+        return ch
+
+
+@pytest.fixture
+def tcp_pair(engine):
+    return Pair(engine, TcpTransport, params=SMALL_TCP)
+
+
+@pytest.fixture
+def via_pair(engine):
+    return Pair(engine, ViaTransport, params=SMALL_VIA)
+
+
+@pytest.fixture
+def rdma_pair(engine):
+    return Pair(engine, ViaTransport, params=SMALL_VIA, remote_writes=True)

@@ -1,0 +1,83 @@
+"""Tests for the §7 ideal communication layer (extension)."""
+
+import pytest
+
+from repro.transports.base import CorruptionKind, Message, SendStatus
+from repro.transports.ideal import IdealTransport
+
+from .conftest import SMALL_VIA, Pair
+
+
+@pytest.fixture
+def ideal_pair(engine):
+    return Pair(engine, IdealTransport, params=SMALL_VIA, remote_writes=True)
+
+
+def run(pair, dt=1.0):
+    pair.engine.run(until=pair.engine.now + dt)
+
+
+def test_normal_delivery_unchanged(ideal_pair):
+    ch = ideal_pair.connect()
+    for i in range(5):
+        ch.send(Message("m", 64, payload=i))
+    run(ideal_pair)
+    assert [m.payload for _p, m in ideal_pair.messages["b"]] == list(range(5))
+
+
+def test_bad_parameters_rejected_synchronously(ideal_pair):
+    ch = ideal_pair.connect()
+    for kind in (
+        CorruptionKind.NULL_POINTER,
+        CorruptionKind.OFF_BY_N_POINTER,
+        CorruptionKind.OFF_BY_N_SIZE,
+    ):
+        result = ch.send(Message("m", 64, corruption=kind, skew=7))
+        assert result.status is SendStatus.SYNC_ERROR, kind
+        assert result.error.errno_name == "VIP_INVALID_PARAMETER"
+    run(ideal_pair)
+    # Nothing fatal anywhere, nothing delivered, channel intact.
+    assert ideal_pair.fatals["a"] == []
+    assert ideal_pair.fatals["b"] == []
+    assert ideal_pair.messages["b"] == []
+    assert not ch.broken
+    assert ideal_pair.transports["a"].rejected_posts == 3
+
+
+def test_subsequent_traffic_survives_a_bad_post(ideal_pair):
+    ch = ideal_pair.connect()
+    ch.send(Message("m", 64, corruption=CorruptionKind.NULL_POINTER))
+    ch.send(Message("m", 64, payload="after"))
+    run(ideal_pair)
+    assert [m.payload for _p, m in ideal_pair.messages["b"]] == ["after"]
+
+
+def test_keeps_via_failstop_detection(ideal_pair):
+    ch = ideal_pair.connect()
+    ideal_pair.nodes["b"].crash(transient=False)
+    ch.send(Message("m", 64))
+    run(ideal_pair)
+    assert ideal_pair.breaks["a"] == [("b", "hw-unreachable")]
+
+
+def test_keeps_preallocation_immunity(ideal_pair):
+    ch = ideal_pair.connect()
+    ideal_pair.nodes["a"].kernel_memory.inject_allocation_fault()
+    ch.send(Message("m", 64, payload="ok"))
+    run(ideal_pair)
+    assert [m.payload for _p, m in ideal_pair.messages["b"]] == ["ok"]
+
+
+def test_ideal_press_cluster_survives_null_fault():
+    from repro.faults.spec import FaultKind, FaultSpec
+    from repro.press.cluster import SMOKE_SCALE, PressCluster
+    from repro.press.config import IDEAL_PRESS
+
+    c = PressCluster(IDEAL_PRESS, scale=SMOKE_SCALE, seed=3)
+    c.start()
+    c.mendosus.schedule(
+        FaultSpec(FaultKind.BAD_PARAM_NULL, target="node2", at=30.0)
+    )
+    c.run_until(90.0)
+    assert all(s.fail_fasts == 0 for s in c.servers.values())
+    assert c.measured_rate(35.0, 90.0) > c.measured_rate(10.0, 30.0) * 0.9

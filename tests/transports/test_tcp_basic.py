@@ -1,0 +1,149 @@
+"""TCP transport: connection setup, reliable delivery, backpressure."""
+
+import pytest
+
+from repro.transports.base import Message, SendStatus
+
+
+def run(pair, dt=1.0):
+    pair.engine.run(until=pair.engine.now + dt)
+
+
+def test_connect_establishes_both_endpoints(tcp_pair):
+    ch = tcp_pair.connect()
+    assert ch.established
+    other = tcp_pair.transports["b"].channel("a")
+    assert other is not None and other.established
+
+
+def test_connect_to_dead_process_fails(tcp_pair):
+    tcp_pair.nodes["b"].process.exit("dead")
+    results = []
+    tcp_pair.transports["a"].connect("b", results.append)
+    run(tcp_pair, 2.0)
+    assert results == [False]
+
+
+def test_connect_to_down_node_times_out(tcp_pair):
+    tcp_pair.nodes["b"].crash(transient=False)
+    results = []
+    tcp_pair.transports["a"].connect("b", results.append)
+    run(tcp_pair, 30.0)
+    assert results == [False]
+
+
+def test_reconnect_returns_existing_channel(tcp_pair):
+    ch = tcp_pair.connect()
+    results = []
+    again = tcp_pair.transports["a"].connect("b", results.append)
+    run(tcp_pair, 0.5)
+    assert again is ch
+    assert results == [True]
+
+
+def test_message_delivery_preserves_payload(tcp_pair):
+    ch = tcp_pair.connect()
+    ch.send(Message("fwd-req", 256, payload={"id": 7}))
+    run(tcp_pair)
+    [(peer, msg)] = tcp_pair.messages["b"]
+    assert peer == "a"
+    assert msg.payload == {"id": 7}
+
+
+def test_messages_delivered_in_order(tcp_pair):
+    ch = tcp_pair.connect()
+    for i in range(20):
+        ch.send(Message("m", 64, payload=i))
+    run(tcp_pair, 5.0)
+    got = [msg.payload for _p, msg in tcp_pair.messages["b"]]
+    assert got == list(range(20))
+
+
+def test_large_message_segmented_and_reassembled(tcp_pair):
+    ch = tcp_pair.connect()
+    ch.send(Message("file-data", 3000, payload="big"))  # > segment 1024
+    run(tcp_pair, 5.0)
+    assert [m.payload for _p, m in tcp_pair.messages["b"]] == ["big"]
+
+
+def test_oversized_message_rejected(tcp_pair):
+    ch = tcp_pair.connect()
+    with pytest.raises(ValueError):
+        ch.send(Message("huge", 100_000))
+
+
+def test_bidirectional_traffic(tcp_pair):
+    tcp_pair.connect()
+    cha = tcp_pair.transports["a"].channel("b")
+    chb = tcp_pair.transports["b"].channel("a")
+    cha.send(Message("x", 64, payload="from-a"))
+    chb.send(Message("x", 64, payload="from-b"))
+    run(tcp_pair)
+    assert [m.payload for _p, m in tcp_pair.messages["b"]] == ["from-a"]
+    assert [m.payload for _p, m in tcp_pair.messages["a"]] == ["from-b"]
+
+
+def test_backpressure_blocks_beyond_sndbuf(tcp_pair):
+    """A peer that stops consuming fills sndbuf; senders get BLOCKED."""
+    tcp_pair.nodes["b"].process.sigstop()  # no recv thread
+    # SYN handshake still completes (kernel-level) even while stopped.
+    ch = tcp_pair.connect()
+    statuses = []
+    for _ in range(12):  # 12 * 1000B >> 4096 sndbuf
+        statuses.append(ch.send(Message("m", 1000)).status)
+        run(tcp_pair, 0.05)
+    assert SendStatus.BLOCKED in statuses
+
+
+def test_unblock_event_fires_when_peer_drains(tcp_pair):
+    tcp_pair.nodes["b"].process.sigstop()
+    ch = tcp_pair.connect()
+    blocked = None
+    for _ in range(12):
+        result = ch.send(Message("m", 1000))
+        run(tcp_pair, 0.05)
+        if result.status is SendStatus.BLOCKED:
+            blocked = result
+            break
+    assert blocked is not None
+    tcp_pair.nodes["b"].process.sigcont()
+    run(tcp_pair, 30.0)
+    assert blocked.unblock_event.triggered
+
+
+def test_close_notifies_peer(tcp_pair):
+    tcp_pair.connect()
+    tcp_pair.transports["a"].close_channel("b")
+    run(tcp_pair)
+    assert tcp_pair.breaks["b"] == [("a", "peer-closed")]
+    assert tcp_pair.breaks["a"] == []  # local close is silent locally
+
+
+def test_datagram_delivery(tcp_pair):
+    tcp_pair.transports["a"].send_datagram("b", Message("heartbeat", 32, payload="hb"))
+    run(tcp_pair)
+    [(peer, msg)] = tcp_pair.datagrams["b"]
+    assert peer == "a" and msg.payload == "hb"
+
+
+def test_datagram_to_stopped_process_dropped(tcp_pair):
+    tcp_pair.nodes["b"].process.sigstop()
+    tcp_pair.transports["a"].send_datagram("b", Message("heartbeat", 32))
+    run(tcp_pair)
+    assert tcp_pair.datagrams["b"] == []
+
+
+def test_send_on_broken_channel_returns_broken(tcp_pair):
+    ch = tcp_pair.connect()
+    tcp_pair.nodes["b"].process.exit("crash")
+    run(tcp_pair)
+    assert ch.broken
+    assert ch.send(Message("m", 64)).status is SendStatus.BROKEN
+
+
+def test_send_costs_charged_to_cpu(tcp_pair):
+    ch = tcp_pair.connect()
+    busy_before = tcp_pair.nodes["a"].cpu.busy_time
+    ch.send(Message("m", 1000))
+    run(tcp_pair)
+    assert tcp_pair.nodes["a"].cpu.busy_time > busy_before

@@ -1,0 +1,216 @@
+"""VIA transport: message boundaries, credits, fail-stop, pre-allocation."""
+
+import pytest
+
+from repro.net.link import intra_cluster_kind
+from repro.transports.base import CorruptionKind, Message, SendStatus
+from repro.transports.via import ViaRegistrationError
+
+
+def run(pair, dt=1.0):
+    pair.engine.run(until=pair.engine.now + dt)
+
+
+class TestBasics:
+    def test_connect_and_deliver(self, via_pair):
+        ch = via_pair.connect()
+        ch.send(Message("fwd-req", 256, payload=1))
+        run(via_pair)
+        assert [m.payload for _p, m in via_pair.messages["b"]] == [1]
+
+    def test_message_boundaries_preserved(self, via_pair):
+        ch = via_pair.connect()
+        for i in range(10):
+            ch.send(Message("m", 100 + i, payload=i))
+        run(via_pair, 3.0)
+        got = [(m.payload, m.size) for _p, m in via_pair.messages["b"]]
+        assert got == [(i, 100 + i) for i in range(10)]
+
+    def test_connect_to_dead_process_rejected(self, via_pair):
+        via_pair.nodes["b"].process.exit("dead")
+        results = []
+        via_pair.transports["a"].connect("b", results.append)
+        run(via_pair, 2.0)
+        assert results == [False]
+
+    def test_channel_setup_pins_memory(self, via_pair):
+        pinned_before = via_pair.nodes["a"].pinnable.pinned
+        via_pair.connect()
+        assert via_pair.nodes["a"].pinnable.pinned > pinned_before
+        assert via_pair.nodes["b"].pinnable.pinned > 0
+
+    def test_close_unpins_and_notifies_peer(self, via_pair):
+        via_pair.connect()
+        pinned = via_pair.nodes["a"].pinnable.pinned
+        via_pair.transports["a"].close_channel("b")
+        run(via_pair)
+        assert via_pair.nodes["a"].pinnable.pinned < pinned
+        assert via_pair.breaks["b"] == [("a", "peer-closed")]
+
+    def test_registration_failure_fails_connect(self, via_pair):
+        """No pinnable memory: VipCreateVi fails and the connect attempt
+        is reported unsuccessful (without tearing anything down)."""
+        via_pair.nodes["a"].pinnable.inject_pin_fault(0)
+        results = []
+        ch = via_pair.transports["a"].connect("b", results.append)
+        run(via_pair)
+        assert results == [False]
+        assert ch.broken
+        assert via_pair.transports["a"].channel("b") is None
+
+    def test_peer_registration_failure_rejects_connect(self, via_pair):
+        via_pair.nodes["b"].pinnable.inject_pin_fault(0)
+        results = []
+        via_pair.transports["a"].connect("b", results.append)
+        run(via_pair, 5.0)
+        assert results == [False]
+
+
+class TestFlowControl:
+    def test_credits_consumed_and_returned(self, via_pair):
+        ch = via_pair.connect()
+        assert ch.credits == 4
+        for i in range(4):
+            ch.send(Message("m", 64, payload=i))
+        assert ch.credits == 0
+        run(via_pair, 1.0)
+        assert ch.credits == 4  # receiver reposted and returned them
+        assert len(via_pair.messages["b"]) == 4
+
+    def test_hung_peer_withholds_credits(self, via_pair):
+        """A stopped process has no receive thread: credits starve."""
+        ch = via_pair.connect()
+        via_pair.nodes["b"].process.sigstop()
+        for i in range(10):
+            ch.send(Message("m", 64, payload=i))
+            run(via_pair, 0.1)
+        assert ch.credits == 0
+        assert len(ch.backlog) > 0
+        assert via_pair.messages["b"] == []
+
+    def test_main_loop_never_blocks_on_stalled_peer(self, via_pair):
+        """PRESS's user-level flow control: sends return SENT even when
+        the peer starves credits — the antithesis of TCP's stall."""
+        ch = via_pair.connect()
+        via_pair.nodes["b"].process.sigstop()
+        statuses = {ch.send(Message("m", 64)).status for _ in range(30)}
+        assert statuses == {SendStatus.SENT}
+
+    def test_overflowing_app_queue_sheds_oldest(self, via_pair):
+        ch = via_pair.connect()
+        via_pair.nodes["b"].process.sigstop()
+        for i in range(40):  # app_queue_limit=16
+            ch.send(Message("m", 64, payload=i))
+        assert ch.messages_shed > 0
+        assert len(ch.backlog) <= ch.params.app_queue_limit
+
+    def test_resume_drains_frozen_backlog(self, via_pair):
+        ch = via_pair.connect()
+        via_pair.nodes["b"].process.sigstop()
+        for i in range(3):
+            ch.send(Message("m", 64, payload=i))
+        run(via_pair, 1.0)
+        via_pair.nodes["b"].process.sigcont()
+        run(via_pair, 2.0)
+        assert [m.payload for _p, m in via_pair.messages["b"]] == [0, 1, 2]
+
+
+class TestFailStop:
+    def test_node_crash_breaks_on_next_send(self, via_pair):
+        """SAN hardware reports the dead peer; detection is immediate."""
+        ch = via_pair.connect()
+        via_pair.nodes["b"].crash(transient=False)
+        ch.send(Message("m", 64))
+        run(via_pair, 0.5)
+        assert via_pair.breaks["a"] == [("b", "hw-unreachable")]
+        assert ch.broken
+
+    def test_link_fault_breaks_all_channels(self, via_pair):
+        ch = via_pair.connect()
+        via_pair.fabric.link("b").fail_for(intra_cluster_kind)
+        ch.send(Message("m", 64))
+        run(via_pair, 0.5)
+        assert len(via_pair.breaks["a"]) == 1
+
+    def test_process_death_tears_down_and_notifies(self, via_pair):
+        via_pair.connect()
+        pinned = via_pair.nodes["b"].pinnable.pinned
+        via_pair.nodes["b"].process.exit("bug")
+        run(via_pair, 0.5)
+        # The dying provider tears down its VIs; the peer sees the
+        # hardware disconnect as a closed connection.
+        assert via_pair.breaks["a"] == [("b", "peer-closed")]
+        assert via_pair.nodes["b"].pinnable.pinned < pinned
+
+    def test_kernel_memory_fault_has_no_effect(self, via_pair):
+        """Pre-allocation: the VIA data path never touches the kernel
+        allocator — the paper's central resource-exhaustion result."""
+        ch = via_pair.connect()
+        via_pair.nodes["a"].kernel_memory.inject_allocation_fault()
+        via_pair.nodes["b"].kernel_memory.inject_allocation_fault()
+        for i in range(5):
+            ch.send(Message("m", 64, payload=i))
+        run(via_pair, 2.0)
+        assert len(via_pair.messages["b"]) == 5
+
+    def test_pin_fault_after_setup_has_no_effect_on_data_path(self, via_pair):
+        ch = via_pair.connect()
+        via_pair.nodes["a"].pinnable.inject_pin_fault(0)
+        ch.send(Message("m", 64, payload="ok"))
+        run(via_pair)
+        assert [m.payload for _p, m in via_pair.messages["b"]] == ["ok"]
+
+
+class TestDescriptorErrors:
+    def test_null_pointer_fatal_at_sender_only(self, via_pair):
+        """VIA-PRESS-0: async completion error, one end, fail-fast."""
+        ch = via_pair.connect()
+        ch.send(Message("m", 64, corruption=CorruptionKind.NULL_POINTER))
+        run(via_pair, 1.0)
+        assert len(via_pair.fatals["a"]) == 1
+        assert via_pair.fatals["b"] == []
+
+    def test_off_by_size_fatal_at_sender_only(self, via_pair):
+        ch = via_pair.connect()
+        ch.send(Message("m", 64, corruption=CorruptionKind.OFF_BY_N_SIZE, skew=9))
+        run(via_pair, 1.0)
+        assert len(via_pair.fatals["a"]) == 1
+        assert via_pair.fatals["b"] == []
+
+    def test_off_by_pointer_fatal_at_receiver_only(self, via_pair):
+        ch = via_pair.connect()
+        ch.send(Message("m", 64, corruption=CorruptionKind.OFF_BY_N_POINTER))
+        run(via_pair, 1.0)
+        assert via_pair.fatals["a"] == []
+        assert len(via_pair.fatals["b"]) == 1
+
+    def test_remote_writes_report_error_at_both_ends(self, rdma_pair):
+        """VIA-PRESS-3/5: one bad descriptor takes down two nodes."""
+        ch = rdma_pair.connect()
+        ch.send(Message("m", 64, corruption=CorruptionKind.NULL_POINTER))
+        run(rdma_pair, 1.0)
+        assert len(rdma_pair.fatals["a"]) == 1
+        assert len(rdma_pair.fatals["b"]) == 1
+
+    def test_subsequent_messages_unaffected(self, via_pair):
+        """No byte stream: a bad descriptor never poisons later sends."""
+        ch = via_pair.connect()
+        ch.send(Message("m", 64, corruption=CorruptionKind.OFF_BY_N_SIZE, skew=5))
+        ch.send(Message("m", 64, payload="clean"))
+        run(via_pair, 1.0)
+        assert [m.payload for _p, m in via_pair.messages["b"]] == ["clean"]
+
+
+class TestDatagrams:
+    def test_datagram_roundtrip(self, via_pair):
+        via_pair.transports["a"].send_datagram(
+            "b", Message("join-request", 48, payload="a")
+        )
+        run(via_pair)
+        assert [(p, m.payload) for p, m in via_pair.datagrams["b"]] == [("a", "a")]
+
+    def test_datagram_immune_to_kernel_memory_fault(self, via_pair):
+        via_pair.nodes["a"].kernel_memory.inject_allocation_fault()
+        via_pair.transports["a"].send_datagram("b", Message("x", 48))
+        run(via_pair)
+        assert len(via_pair.datagrams["b"]) == 1

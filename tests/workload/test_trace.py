@@ -1,0 +1,92 @@
+"""Tests for the synthetic trace / file population."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.trace import FileSet
+
+
+def test_uniform_file_size():
+    fs = FileSet(n_files=100, file_bytes=2048)
+    assert fs.size("f000000") == 2048
+    assert fs.size("anything") == 2048
+    assert fs.total_bytes == 100 * 2048
+
+
+def test_sample_returns_valid_names():
+    fs = FileSet(n_files=50)
+    rng = random.Random(1)
+    for _ in range(200):
+        name = fs.sample(rng)
+        index = int(name[1:])
+        assert 0 <= index < 50
+
+
+def test_zipf_skew_prefers_popular_files():
+    fs = FileSet(n_files=1000, zipf_s=0.8)
+    rng = random.Random(2)
+    samples = fs.sample_many(rng, 5000)
+    top_decile = sum(1 for s in samples if int(s[1:]) < 100)
+    assert top_decile / 5000 > 0.3  # far above the uniform 10%
+
+
+def test_sampling_deterministic_under_seed():
+    fs = FileSet(n_files=100)
+    a = fs.sample_many(random.Random(7), 50)
+    b = fs.sample_many(random.Random(7), 50)
+    assert a == b
+
+
+def test_coverage_hit_ratio_monotone():
+    fs = FileSet(n_files=1000)
+    ratios = [fs.coverage_hit_ratio(n) for n in (0, 10, 100, 500, 1000)]
+    assert ratios == sorted(ratios)
+    assert ratios[0] == 0.0
+    assert ratios[-1] == pytest.approx(1.0)
+
+
+def test_coverage_clamps_out_of_range():
+    fs = FileSet(n_files=10)
+    assert fs.coverage_hit_ratio(-5) == 0.0
+    assert fs.coverage_hit_ratio(99) == pytest.approx(1.0)
+
+
+def test_expected_hit_files():
+    fs = FileSet(n_files=100, file_bytes=100)
+    assert fs.expected_hit_files(550) == 5
+    assert fs.expected_hit_files(10**9) == 100
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        FileSet(n_files=0)
+    with pytest.raises(ValueError):
+        FileSet(file_bytes=0)
+
+
+@settings(max_examples=30)
+@given(
+    st.integers(min_value=1, max_value=5000),
+    st.floats(min_value=0.0, max_value=2.0),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_property_samples_always_in_population(n_files, zipf_s, seed):
+    fs = FileSet(n_files=n_files, zipf_s=zipf_s)
+    rng = random.Random(seed)
+    for _ in range(20):
+        assert 0 <= int(fs.sample(rng)[1:]) < n_files
+
+
+@settings(max_examples=20)
+@given(st.integers(min_value=2, max_value=2000))
+def test_property_coverage_is_a_cdf(n_files):
+    fs = FileSet(n_files=n_files)
+    prev = 0.0
+    for n in range(0, n_files + 1, max(1, n_files // 10)):
+        cur = fs.coverage_hit_ratio(n)
+        assert 0.0 <= cur <= 1.0
+        assert cur >= prev
+        prev = cur

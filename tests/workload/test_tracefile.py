@@ -1,0 +1,121 @@
+"""Tests for trace files and replay."""
+
+import io
+import random
+
+import pytest
+
+from repro.net.fabric import Fabric
+from repro.net.packet import Frame
+from repro.sim.engine import Engine
+from repro.sim.monitor import ThroughputMonitor
+from repro.workload.trace import FileSet
+from repro.workload.tracefile import (
+    TraceEntry,
+    TraceReplayer,
+    load_trace,
+    save_trace,
+    synthesize_trace,
+)
+
+
+def test_synthesize_respects_count_and_order():
+    fs = FileSet(n_files=100)
+    entries = synthesize_trace(fs, 50, rate=10.0, rng=random.Random(1))
+    assert len(entries) == 50
+    offsets = [e.offset for e in entries]
+    assert offsets == sorted(offsets)
+    assert all(0 <= int(e.file_id[1:]) < 100 for e in entries)
+
+
+def test_synthesize_rate_validation():
+    with pytest.raises(ValueError):
+        synthesize_trace(FileSet(n_files=10), 5, rate=0.0, rng=random.Random(1))
+
+
+def test_save_load_roundtrip():
+    entries = [TraceEntry(0.5, "f000001"), TraceEntry(1.25, "f000002")]
+    buf = io.StringIO()
+    assert save_trace(entries, buf) == 2
+    buf.seek(0)
+    assert load_trace(buf) == entries
+
+
+def test_load_skips_comments_and_blanks():
+    buf = io.StringIO("# header\n\n0.1 f000001\n# mid\n0.2 f000002\n")
+    assert len(load_trace(buf)) == 2
+
+
+def test_load_rejects_malformed_line():
+    with pytest.raises(ValueError, match="line 1"):
+        load_trace(io.StringIO("garbage\n"))
+
+
+def test_load_rejects_unsorted_offsets():
+    with pytest.raises(ValueError, match="sorted"):
+        load_trace(io.StringIO("1.0 f1\n0.5 f2\n"))
+
+
+class EchoServer:
+    def __init__(self, engine, fabric, name):
+        self.nic = fabric.attach(name)
+        self.name = name
+        self.seen = []
+        self.nic.register("http-req", self._on)
+
+    def _on(self, frame):
+        req = frame.payload
+        self.seen.append(req.file_id)
+        self.nic.send(
+            Frame(src=self.name, dst=req.client_id, size=64,
+                  kind="http-resp", payload=req.req_id)
+        )
+
+
+def _replay_setup(entries, **kw):
+    e = Engine()
+    fabric = Fabric(e)
+    server = EchoServer(e, fabric, "s0")
+    monitor = ThroughputMonitor(e)
+    replayer = TraceReplayer(
+        e, fabric, "c0", ["s0"], entries, monitor, **kw
+    )
+    return e, server, monitor, replayer
+
+
+def test_replay_preserves_order_and_files():
+    entries = [TraceEntry(0.1 * i, f"f{i:06d}") for i in range(1, 6)]
+    e, server, monitor, replayer = _replay_setup(entries)
+    replayer.start()
+    e.run(until=10.0)
+    assert server.seen == [f"f{i:06d}" for i in range(1, 6)]
+    assert monitor.total_ok == 5
+
+
+def test_replay_rescales_to_requested_rate():
+    fs = FileSet(n_files=50)
+    entries = synthesize_trace(fs, 200, rate=5.0, rng=random.Random(2))
+    e, server, monitor, replayer = _replay_setup(entries, rate=50.0)
+    replayer.start()
+    e.run(until=10.0)
+    # 200 requests at 50/s -> done in ~4s; all should have fired.
+    assert replayer.replayed == 200
+    assert entries[-1].offset * replayer.time_scale == pytest.approx(
+        200 / 50.0, rel=0.3
+    )
+
+
+def test_replay_loop_repeats():
+    entries = [TraceEntry(0.1, "f000001"), TraceEntry(0.2, "f000002")]
+    e, server, monitor, replayer = _replay_setup(entries, loop=True)
+    replayer.start()
+    e.run(until=2.0)
+    replayer.stop()
+    assert replayer.replayed > 4
+
+
+def test_empty_trace_rejected():
+    e = Engine()
+    fabric = Fabric(e)
+    with pytest.raises(ValueError):
+        TraceReplayer(e, fabric, "c0", ["s0"], [], ThroughputMonitor(e))
