@@ -27,16 +27,43 @@ BENCH_SETTINGS = Phase1Settings(
 )
 
 
+def pytest_addoption(parser):
+    group = parser.getgroup("campaign", "phase-1 campaign execution")
+    group.addoption(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for campaign cells (1 = serial)",
+    )
+    group.addoption(
+        "--cache-dir",
+        default=None,
+        help="persist campaign cell results here so repeated benchmark "
+        "runs skip the simulations entirely",
+    )
+
+
 @pytest.fixture(scope="session")
 def bench_settings() -> Phase1Settings:
     return BENCH_SETTINGS
 
 
 @pytest.fixture(scope="session")
-def campaign(bench_settings):
-    """The full phase-1 campaign, shared by the figure-6..10 benches."""
-    from repro.experiments.campaign import full_campaign
+def campaign(request, bench_settings):
+    """The full phase-1 campaign, shared by the figure-6..10 benches.
 
+    ``--jobs N`` fans the cells out over N worker processes and
+    ``--cache-dir DIR`` persists them, so one warm campaign serves every
+    figure benchmark across runs.
+    """
+    from repro.experiments.campaign import configure, full_campaign
+    from repro.experiments.store import open_store
+
+    jobs = request.config.getoption("--jobs")
+    cache_dir = request.config.getoption("--cache-dir")
+    # Configure process-wide so non-fixture campaigns (e.g. validation
+    # benches calling measure_profile_set internally) also benefit.
+    configure(store=open_store(cache_dir) if cache_dir else None, jobs=jobs)
     return full_campaign(bench_settings)
 
 

@@ -17,9 +17,11 @@ Add ``--scale N`` (CPU/byte scale factor; larger = faster, default 200),
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .experiments.settings import Phase1Settings
+from .experiments.store import CACHE_DIR_ENV
 from .faults.spec import FaultKind
 from .press.cluster import ExperimentScale
 
@@ -86,11 +88,14 @@ def cmd_timeline(args) -> None:
 
 
 def cmd_campaign(args) -> None:
-    from .analysis.report import campaign_report
-    from .experiments.campaign import full_campaign
+    from .analysis.report import campaign_report, campaign_timing_report
+    from .experiments.campaign import full_campaign_with_report
 
-    campaign = full_campaign(_settings(args), versions=args.versions or None)
+    campaign, timing = full_campaign_with_report(
+        _settings(args), versions=args.versions or None
+    )
     print(campaign_report(campaign))
+    print(campaign_timing_report(timing))
 
 
 def cmd_crossover(args) -> None:
@@ -151,6 +156,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="CPU/byte scale factor (larger = faster run)")
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--replications", type=int, default=3)
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for campaign cells (1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=os.environ.get(CACHE_DIR_ENV),
+        help="persist campaign cell results here (survives restarts; "
+        f"default ${CACHE_DIR_ENV} if set, else in-memory only)",
+    )
+    parser.add_argument(
+        "--clear-cache", action="store_true",
+        help="drop every cached campaign cell in --cache-dir, then run",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("table1", help="near-peak throughput of the 5 versions")
@@ -180,8 +198,20 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _configure_campaign(args) -> None:
+    """Apply --jobs/--cache-dir to every campaign this process runs."""
+    from .experiments.campaign import configure
+    from .experiments.store import open_store
+
+    store = open_store(args.cache_dir) if args.cache_dir else None
+    if store is not None and args.clear_cache:
+        store.clear()
+    configure(store=store, jobs=args.jobs)
+
+
 def main(argv=None) -> None:
     args = build_parser().parse_args(argv)
+    _configure_campaign(args)
     handler = {
         "table1": cmd_table1,
         "figure": cmd_figure,

@@ -10,6 +10,7 @@ from .export import (
 )
 from .report import (
     campaign_report,
+    campaign_timing_report,
     category_breakdown,
     profile_table,
     result_summary,
@@ -23,6 +24,7 @@ __all__ = [
     "profile_table",
     "result_summary",
     "campaign_report",
+    "campaign_timing_report",
     "category_breakdown",
     "timeline_report",
     "timeline_to_csv",

@@ -91,6 +91,34 @@ def campaign_report(
     return "\n".join(sections)
 
 
+def campaign_timing_report(report) -> str:
+    """Where a campaign's wall-clock went (a ``CampaignReport``).
+
+    Shows the executed/cached split, aggregate cell time vs. wall time,
+    and per-version / per-fault breakdowns of simulation cost.
+    """
+    total = len(report.cells)
+    lines = [
+        f"campaign: {total} cells "
+        f"({report.executed} executed, {report.cached} from cache)"
+        f" on {report.jobs} job{'s' if report.jobs != 1 else ''}",
+        f"wall-clock {report.wall_clock:.2f}s,"
+        f" simulation {report.cell_seconds:.2f}s"
+        f" ({report.speedup:.2f}x aggregate)",
+    ]
+    by_version = {
+        k: v for k, v in report.by_version().items() if v > 0
+    }
+    if by_version:
+        lines.append("simulation seconds by version:")
+        lines.append(bar_chart(by_version, width=30, unit="s"))
+    by_fault = {k: v for k, v in report.by_fault().items() if v > 0}
+    if by_fault:
+        lines.append("simulation seconds by fault:")
+        lines.append(bar_chart(by_fault, width=30, unit="s"))
+    return "\n".join(lines)
+
+
 def timeline_report(record, bucket: float = 10.0) -> str:
     """Render one phase-1 record: plot + annotated instants."""
     tl = record.timeline

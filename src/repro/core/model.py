@@ -104,6 +104,54 @@ class ProfileSet:
     def __len__(self) -> int:
         return len(self._profiles)
 
+    # ------------------------------------------------------------------
+    # Serialization (store round-trips and cross-process merging)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "normal_throughput": self.normal_throughput,
+            "profiles": {
+                key: self._profiles[key].to_dict()
+                for key in sorted(self._profiles)
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProfileSet":
+        out = cls(data["version"], float(data["normal_throughput"]))
+        for payload in data["profiles"].values():
+            out.add(SevenStageProfile.from_dict(payload))
+        return out
+
+    def isclose(self, other: "ProfileSet", rel_tol: float = 1e-9) -> bool:
+        """Numeric equality within ``rel_tol`` (float-tolerant comparison
+        between e.g. a serial and a parallel campaign of the same seed)."""
+        import math
+
+        if self.version != other.version:
+            return False
+        if not math.isclose(
+            self.normal_throughput, other.normal_throughput, rel_tol=rel_tol
+        ):
+            return False
+        if set(self.keys()) != set(other.keys()):
+            return False
+        for key in self.keys():
+            a, b = self.get(key), other.get(key)
+            for stage in STAGES:
+                if not math.isclose(
+                    a.duration(stage), b.duration(stage),
+                    rel_tol=rel_tol, abs_tol=1e-12,
+                ):
+                    return False
+                if not math.isclose(
+                    a.throughput(stage), b.throughput(stage),
+                    rel_tol=rel_tol, abs_tol=1e-12,
+                ):
+                    return False
+        return True
+
 
 def evaluate(
     profiles: ProfileSet, load: FaultLoad

@@ -131,6 +131,35 @@ class SevenStageProfile:
         stages = {s: StagePoint(d, t) for s, d, t in pairs}
         return cls(fault=fault, version=version, normal_throughput=tn, stages=stages)
 
+    # ------------------------------------------------------------------
+    # Serialization (the campaign result store persists fitted profiles)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready representation; exact float round-trip via repr."""
+        return {
+            "fault": self.fault,
+            "version": self.version,
+            "normal_throughput": self.normal_throughput,
+            "stages": {
+                s.value: [p.duration, p.throughput]
+                for s, p in self.stages.items()
+                if p.duration > 0 or p.throughput > 0
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SevenStageProfile":
+        stages = {
+            Stage(name): StagePoint(float(d), float(t))
+            for name, (d, t) in data["stages"].items()
+        }
+        return cls(
+            fault=data["fault"],
+            version=data["version"],
+            normal_throughput=float(data["normal_throughput"]),
+            stages=stages,
+        )
+
     def describe(self) -> str:
         """Human-readable one-liner per stage (for reports)."""
         parts = []

@@ -1,24 +1,48 @@
 """The full phase-1 campaign: every (version, fault) pair → ProfileSet.
 
-Profile sets are memoized per (version, settings) because Figures 6-10
-all consume the same measurements under different fault loads — exactly
-how the paper reuses its phase-1 data.
+Execution is delegated to :mod:`repro.experiments.runner`, which shards
+the (version x fault x replication) grid into independent cells and runs
+them serially or on a process pool.  Cell results are memoized in a
+:class:`~repro.experiments.store.ResultStore` — by default a
+process-local :class:`MemoryStore` (Figures 6-10 all consume the same
+phase-1 measurements, exactly how the paper reuses its data), optionally
+a :class:`DiskStore` that survives interpreter restarts.
+
+``configure(store=..., jobs=...)`` changes the process-wide defaults so
+entry points (the CLI's ``--jobs`` / ``--cache-dir`` flags, the
+benchmark fixtures) can redirect every internal campaign without
+threading arguments through each figure function.
 """
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Dict, Iterable, Optional, Tuple
 
-from ..core.extract import extract_profile
 from ..core.model import ProfileSet
-from ..core.stages import average_profiles
 from ..faults.spec import FaultKind
-from ..press.config import ALL_VERSIONS, ALL_VERSIONS_EXTENDED
-from .phase1 import run_baseline, run_single_fault
-from .settings import CAMPAIGN_FAULTS, DEFAULT_SETTINGS, FAULT_MTTR, Phase1Settings
+from ..press.config import ALL_VERSIONS
+from .runner import CampaignReport, run_campaign
+from .settings import CAMPAIGN_FAULTS, DEFAULT_SETTINGS, Phase1Settings
+from .store import MemoryStore, ResultStore
 
-_cache: Dict[tuple, ProfileSet] = {}
+#: Process-wide defaults, set once by entry points via :func:`configure`.
+_default_store: ResultStore = MemoryStore()
+_default_jobs: int = 1
+
+
+def configure(
+    store: Optional[ResultStore] = None, jobs: Optional[int] = None
+) -> None:
+    """Set the store/parallelism every campaign uses unless overridden."""
+    global _default_store, _default_jobs
+    if store is not None:
+        _default_store = store
+    if jobs is not None:
+        _default_jobs = max(1, int(jobs))
+
+
+def default_store() -> ResultStore:
+    return _default_store
 
 
 def measure_profile_set(
@@ -26,56 +50,60 @@ def measure_profile_set(
     settings: Phase1Settings = DEFAULT_SETTINGS,
     faults: Iterable[FaultKind] = CAMPAIGN_FAULTS,
     use_cache: bool = True,
+    store: Optional[ResultStore] = None,
+    jobs: Optional[int] = None,
 ) -> ProfileSet:
     """Run phase 1 for ``version`` across ``faults`` and fit profiles.
 
     The experiment is repeated ``settings.replications`` times under
-    distinct seeds and the fitted profiles averaged per fault.
+    distinct derived seeds and the fitted profiles averaged per fault.
     """
-    faults = tuple(faults)
-    key = (version, settings.cache_key(), tuple(f.value for f in faults))
-    if use_cache and key in _cache:
-        return _cache[key]
-
-    config = ALL_VERSIONS_EXTENDED[version]
-    tns = []
-    per_fault: Dict[FaultKind, list] = {kind: [] for kind in faults}
-    for rep in range(max(1, settings.replications)):
-        rep_settings = dataclasses.replace(
-            settings, seed=settings.seed + 101 * rep
-        )
-        tn, _ = run_baseline(config, rep_settings)
-        tns.append(tn)
-        for kind in faults:
-            record, _cluster = run_single_fault(
-                config, kind, rep_settings, normal_throughput=tn
-            )
-            per_fault[kind].append(
-                extract_profile(
-                    record, mttr=FAULT_MTTR[kind], env=settings.environment
-                )
-            )
-
-    profiles = ProfileSet(version, sum(tns) / len(tns))
-    for kind in faults:
-        profiles.add(average_profiles(per_fault[kind]))
-
-    if use_cache:
-        _cache[key] = profiles
-    return profiles
+    sets, _report = run_campaign(
+        settings,
+        versions=[version],
+        faults=faults,
+        jobs=jobs if jobs is not None else _default_jobs,
+        store=store if store is not None else _default_store,
+        use_cache=use_cache,
+    )
+    return sets[version]
 
 
 def full_campaign(
     settings: Phase1Settings = DEFAULT_SETTINGS,
     versions: Optional[Iterable[str]] = None,
     faults: Iterable[FaultKind] = CAMPAIGN_FAULTS,
+    jobs: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    use_cache: bool = True,
 ) -> Dict[str, ProfileSet]:
     """Profile sets for every requested version (default: all five)."""
+    sets, _report = full_campaign_with_report(
+        settings, versions, faults, jobs=jobs, store=store, use_cache=use_cache
+    )
+    return sets
+
+
+def full_campaign_with_report(
+    settings: Phase1Settings = DEFAULT_SETTINGS,
+    versions: Optional[Iterable[str]] = None,
+    faults: Iterable[FaultKind] = CAMPAIGN_FAULTS,
+    jobs: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    use_cache: bool = True,
+) -> Tuple[Dict[str, ProfileSet], CampaignReport]:
+    """Like :func:`full_campaign`, but also return the timing report."""
     names = list(versions) if versions is not None else list(ALL_VERSIONS)
-    return {
-        name: measure_profile_set(name, settings, faults) for name in names
-    }
+    return run_campaign(
+        settings,
+        versions=names,
+        faults=faults,
+        jobs=jobs if jobs is not None else _default_jobs,
+        store=store if store is not None else _default_store,
+        use_cache=use_cache,
+    )
 
 
 def clear_cache() -> None:
-    _cache.clear()
+    """Drop every memoized cell in the process-wide default store."""
+    _default_store.clear()

@@ -1,0 +1,373 @@
+"""Sharded, resumable execution of the phase-1 campaign.
+
+The full campaign is a (version x fault x replication) grid of
+independent simulated runs plus one fault-free baseline per
+(version, replication).  Each grid point is a *cell*: a pure function of
+the experiment settings and its derived seed.  This module
+
+* derives a collision-free deterministic seed per cell (a stable hash of
+  ``(base_seed, version, fault, rep)`` — the old ``seed + 101 * rep``
+  arithmetic collides across nearby base seeds),
+* executes cells either serially or on a
+  :class:`~concurrent.futures.ProcessPoolExecutor` (``jobs > 1``), with
+  a transparent serial fallback on platforms where worker processes
+  cannot be spawned,
+* consults a :class:`~repro.experiments.store.ResultStore` before
+  running anything, so a warm store replays a campaign with zero
+  simulation work, and
+* merges per-cell fitted profiles into :class:`ProfileSet`s exactly the
+  way the serial code always has (throughputs averaged per fault,
+  duration-weighted), so parallel and serial campaigns are
+  interchangeable.
+
+A :class:`CampaignReport` records per-cell wall-clock and cache
+provenance; ``repro.analysis.report.campaign_timing_report`` renders it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..core.model import ProfileSet
+from ..core.stages import SevenStageProfile, average_profiles
+from ..faults.spec import FaultKind
+from ..press.config import ALL_VERSIONS_EXTENDED
+from .settings import CAMPAIGN_FAULTS, FAULT_MTTR, Phase1Settings
+from .store import CellKey, MemoryStore, ResultStore
+
+#: Marker used in seed derivation for the fault-free baseline cell.
+_BASELINE_TAG = "<baseline>"
+
+
+def cell_seed(
+    base_seed: int, version: str, fault: Optional[str], rep: int
+) -> int:
+    """Deterministic 64-bit seed for one campaign cell.
+
+    A stable hash keeps distinct cells on distinct seeds for *any* base
+    seed — unlike linear schemes (``base + 101 * rep``) where nearby
+    base seeds reuse each other's replication seeds.
+    """
+    tag = f"{base_seed}|{version}|{fault if fault is not None else _BASELINE_TAG}|{rep}"
+    digest = hashlib.sha256(tag.encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+# ----------------------------------------------------------------------
+# Cell workers.  Module-level so they pickle for worker processes; each
+# returns a JSON-ready payload so results are identical whether they
+# travel through memory, a pipe, or the on-disk store.
+# ----------------------------------------------------------------------
+
+
+def _baseline_cell(
+    version: str, settings: Phase1Settings, seed: int
+) -> dict:
+    from .phase1 import run_baseline
+
+    cell_settings = dataclasses.replace(settings, seed=seed)
+    start = time.perf_counter()
+    tn, _cluster = run_baseline(ALL_VERSIONS_EXTENDED[version], cell_settings)
+    return {"kind": "baseline", "tn": tn, "elapsed": time.perf_counter() - start}
+
+
+def _fault_cell(
+    version: str,
+    fault_value: str,
+    settings: Phase1Settings,
+    seed: int,
+) -> dict:
+    from ..core.extract import extract_profile
+    from .phase1 import run_single_fault
+
+    kind = FaultKind(fault_value)
+    cell_settings = dataclasses.replace(settings, seed=seed)
+    start = time.perf_counter()
+    # The cell measures its *own* pre-injection throughput as Tn.  The
+    # extraction thresholds (impact/recovery, a few percent of Tn) need
+    # Tn correlated with the run they judge; a baseline from a different
+    # seed differs by bucket noise of the same order.  (The historical
+    # serial path got this correlation implicitly by running baseline
+    # and faults under one seed per replication.)
+    record, _cluster = run_single_fault(
+        ALL_VERSIONS_EXTENDED[version], kind, cell_settings
+    )
+    profile = extract_profile(
+        record, mttr=FAULT_MTTR[kind], env=settings.environment
+    )
+    return {
+        "kind": "profile",
+        "profile": profile.to_dict(),
+        "elapsed": time.perf_counter() - start,
+    }
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CellRecord:
+    """Provenance of one cell within a campaign run."""
+
+    version: str
+    fault: Optional[str]  # None = baseline
+    rep: int
+    seed: int
+    elapsed: float  # simulation wall-clock (0.0 for cache hits)
+    cached: bool
+
+
+@dataclass
+class CampaignReport:
+    """Where a campaign's wall-clock went, cell by cell."""
+
+    jobs: int = 1
+    wall_clock: float = 0.0
+    cells: List[CellRecord] = field(default_factory=list)
+
+    @property
+    def executed(self) -> int:
+        return sum(1 for c in self.cells if not c.cached)
+
+    @property
+    def cached(self) -> int:
+        return sum(1 for c in self.cells if c.cached)
+
+    @property
+    def cell_seconds(self) -> float:
+        """Total simulation time across cells (ignores pool overhead)."""
+        return sum(c.elapsed for c in self.cells)
+
+    @property
+    def speedup(self) -> float:
+        """Aggregate cell time over wall time (1.0 = serial, no cache)."""
+        if self.wall_clock <= 0:
+            return 1.0
+        return self.cell_seconds / self.wall_clock
+
+    def by_version(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for c in self.cells:
+            out[c.version] = out.get(c.version, 0.0) + c.elapsed
+        return out
+
+    def by_fault(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for c in self.cells:
+            label = c.fault if c.fault is not None else "baseline"
+            out[label] = out.get(label, 0.0) + c.elapsed
+        return out
+
+
+# ----------------------------------------------------------------------
+# The runner
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Cell:
+    version: str
+    fault: Optional[str]
+    rep: int
+    seed: int
+
+    def key(self, settings_key: tuple) -> CellKey:
+        return CellKey(
+            version=self.version,
+            settings_key=settings_key,
+            fault=self.fault,
+            seed=self.seed,
+        )
+
+
+class CampaignRunner:
+    """Executes a campaign grid against a result store.
+
+    ``jobs=1`` runs cells inline; ``jobs>1`` fans misses out to a
+    process pool.  Either way the merged :class:`ProfileSet`s are a pure
+    function of the settings, so the two paths agree bit-for-bit.
+    """
+
+    def __init__(
+        self,
+        settings: Phase1Settings,
+        store: Optional[ResultStore] = None,
+        jobs: int = 1,
+        use_cache: bool = True,
+        on_cell: Optional[Callable[[CellRecord], None]] = None,
+    ):
+        self.settings = settings
+        self.store = store if store is not None else MemoryStore()
+        self.jobs = max(1, int(jobs))
+        self.use_cache = use_cache
+        self.on_cell = on_cell
+        self._settings_key = settings.cache_key()
+
+    # -- grid ----------------------------------------------------------
+    def _grid(
+        self, versions: Iterable[str], faults: Tuple[FaultKind, ...]
+    ) -> Tuple[List[_Cell], List[_Cell]]:
+        reps = range(max(1, self.settings.replications))
+        base = self.settings.seed
+        baselines = [
+            _Cell(v, None, r, cell_seed(base, v, None, r))
+            for v in versions
+            for r in reps
+        ]
+        cells = [
+            _Cell(v, f.value, r, cell_seed(base, v, f.value, r))
+            for v in versions
+            for r in reps
+            for f in faults
+        ]
+        return baselines, cells
+
+    # -- execution -----------------------------------------------------
+    def _lookup(self, cell: _Cell) -> Optional[dict]:
+        if not self.use_cache:
+            return None
+        return self.store.get(cell.key(self._settings_key))
+
+    def _record(
+        self, report: CampaignReport, cell: _Cell, payload: dict, cached: bool
+    ) -> None:
+        rec = CellRecord(
+            version=cell.version,
+            fault=cell.fault,
+            rep=cell.rep,
+            seed=cell.seed,
+            elapsed=0.0 if cached else float(payload.get("elapsed", 0.0)),
+            cached=cached,
+        )
+        report.cells.append(rec)
+        if self.on_cell is not None:
+            self.on_cell(rec)
+
+    def _execute_wave(
+        self,
+        misses: List[Tuple[_Cell, tuple]],
+        report: CampaignReport,
+    ) -> Dict[_Cell, dict]:
+        """Run every missed cell, through the pool when one is available."""
+        results: Dict[_Cell, dict] = {}
+        pool = self._pool() if len(misses) > 1 else None
+        try:
+            if pool is None:
+                for cell, args in misses:
+                    worker = _baseline_cell if cell.fault is None else _fault_cell
+                    results[cell] = worker(*args)
+            else:
+                futures = {
+                    pool.submit(
+                        _baseline_cell if cell.fault is None else _fault_cell,
+                        *args,
+                    ): cell
+                    for cell, args in misses
+                }
+                for future, cell in futures.items():
+                    results[cell] = future.result()
+        finally:
+            if pool is not None:
+                pool.shutdown()
+        for cell, payload in results.items():
+            if self.use_cache:
+                self.store.put(cell.key(self._settings_key), payload)
+            self._record(report, cell, payload, cached=False)
+        return results
+
+    def _pool(self):
+        """A process pool, or ``None`` to fall back to inline execution."""
+        if self.jobs <= 1:
+            return None
+        try:
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            methods = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in methods else "spawn"
+            return ProcessPoolExecutor(
+                max_workers=self.jobs,
+                mp_context=multiprocessing.get_context(method),
+            )
+        except (ImportError, NotImplementedError, OSError, ValueError):
+            return None
+
+    # -- public API ----------------------------------------------------
+    def run(
+        self,
+        versions: Iterable[str],
+        faults: Iterable[FaultKind] = CAMPAIGN_FAULTS,
+    ) -> Tuple[Dict[str, ProfileSet], CampaignReport]:
+        versions = list(versions)
+        faults = tuple(faults)
+        report = CampaignReport(jobs=self.jobs)
+        started = time.perf_counter()
+
+        baselines, cells = self._grid(versions, faults)
+
+        # Every cell is independent (fault cells measure their own
+        # pre-injection Tn), so the whole grid is one parallel wave.
+        payloads: Dict[_Cell, dict] = {}
+        misses: List[Tuple[_Cell, tuple]] = []
+        for cell in baselines + cells:
+            hit = self._lookup(cell)
+            if hit is not None:
+                payloads[cell] = hit
+                self._record(report, cell, hit, cached=True)
+            elif cell.fault is None:
+                misses.append((cell, (cell.version, self.settings, cell.seed)))
+            else:
+                misses.append(
+                    (cell, (cell.version, cell.fault, self.settings, cell.seed))
+                )
+        payloads.update(self._execute_wave(misses, report))
+        tn_by_cell = {
+            (c.version, c.rep): p["tn"]
+            for c, p in payloads.items()
+            if c.fault is None
+        }
+        profile_payloads = {c: p for c, p in payloads.items() if c.fault is not None}
+
+        # Merge: identical arithmetic to the historical serial path.
+        out: Dict[str, ProfileSet] = {}
+        reps = range(max(1, self.settings.replications))
+        for version in versions:
+            tns = [tn_by_cell[(version, r)] for r in reps]
+            profiles = ProfileSet(version, sum(tns) / len(tns))
+            per_fault: Dict[str, List[SevenStageProfile]] = {}
+            for cell in cells:
+                if cell.version != version:
+                    continue
+                per_fault.setdefault(cell.fault, []).append(
+                    SevenStageProfile.from_dict(
+                        profile_payloads[cell]["profile"]
+                    )
+                )
+            for kind in faults:
+                profiles.add(average_profiles(per_fault[kind.value]))
+            out[version] = profiles
+
+        report.wall_clock = time.perf_counter() - started
+        return out, report
+
+
+def run_campaign(
+    settings: Phase1Settings,
+    versions: Iterable[str],
+    faults: Iterable[FaultKind] = CAMPAIGN_FAULTS,
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    use_cache: bool = True,
+    on_cell: Optional[Callable[[CellRecord], None]] = None,
+) -> Tuple[Dict[str, ProfileSet], CampaignReport]:
+    """One-shot convenience wrapper around :class:`CampaignRunner`."""
+    runner = CampaignRunner(
+        settings, store=store, jobs=jobs, use_cache=use_cache, on_cell=on_cell
+    )
+    return runner.run(versions, faults)

@@ -1,0 +1,181 @@
+"""Persistent result store for the phase-1 campaign.
+
+Each campaign *cell* — one simulated run, either a fault-free baseline
+or a single-fault experiment — is cached under a key built from
+everything that determines its outcome:
+
+    (version, settings.cache_key(), fault, cell seed, schema version)
+
+The schema version is bumped whenever the simulation or the extraction
+code changes in a result-affecting way, which invalidates every cached
+cell at once.  Two store flavors share one interface:
+
+* :class:`MemoryStore` — a process-local dict, the default.  Matches the
+  lifetime semantics of the old module-global campaign cache.
+* :class:`DiskStore` — one JSON file per cell under a cache directory,
+  so campaigns survive interpreter restarts and are shared between the
+  worker processes of a parallel run.  Corrupted or truncated files are
+  treated as misses (the cell is simply re-run), and writes are atomic
+  (tmp file + rename) so a crashed run never poisons the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+#: Bump when simulation/extraction changes invalidate previously cached
+#: cell results.
+SCHEMA_VERSION = 1
+
+#: Environment variable consulted by the CLI for a default cache dir.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+@dataclass(frozen=True)
+class CellKey:
+    """Identity of one campaign cell's result."""
+
+    version: str
+    settings_key: tuple
+    fault: Optional[str]  # None for the fault-free baseline run
+    seed: int
+    schema: int = SCHEMA_VERSION
+
+    def digest(self) -> str:
+        """Stable hex digest used as the on-disk filename."""
+        canonical = repr(
+            (
+                self.version,
+                self.settings_key,
+                self.fault,
+                self.seed,
+                self.schema,
+            )
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class ResultStore:
+    """Interface: ``get`` returns a payload dict or ``None`` (miss)."""
+
+    def get(self, key: CellKey) -> Optional[dict]:  # pragma: no cover
+        raise NotImplementedError
+
+    def put(self, key: CellKey, payload: dict) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def clear(self) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class MemoryStore(ResultStore):
+    """Process-local store; survives nothing, costs nothing."""
+
+    def __init__(self) -> None:
+        self._cells: Dict[CellKey, dict] = {}
+
+    def get(self, key: CellKey) -> Optional[dict]:
+        return self._cells.get(key)
+
+    def put(self, key: CellKey, payload: dict) -> None:
+        self._cells[key] = payload
+
+    def clear(self) -> None:
+        self._cells.clear()
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+
+class DiskStore(ResultStore):
+    """JSON-per-cell store under ``cache_dir``.
+
+    Files are sharded by the first two digest characters to keep
+    directory listings manageable for full campaigns (hundreds of
+    cells per (settings, schema) generation).
+    """
+
+    def __init__(self, cache_dir: Union[str, Path]) -> None:
+        self.cache_dir = Path(cache_dir)
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        except FileExistsError:
+            raise NotADirectoryError(
+                f"cache dir {self.cache_dir} exists and is not a directory"
+            ) from None
+
+    def _path(self, key: CellKey) -> Path:
+        digest = key.digest()
+        return self.cache_dir / digest[:2] / f"{digest}.json"
+
+    def get(self, key: CellKey) -> Optional[dict]:
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            # Missing, truncated, or corrupted: treat as a miss so the
+            # cell is re-run rather than crashing the campaign.
+            return None
+        if not isinstance(data, dict) or "payload" not in data:
+            return None
+        return data["payload"]
+
+    def put(self, key: CellKey, payload: dict) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = {
+            "key": {
+                "version": key.version,
+                "fault": key.fault,
+                "seed": key.seed,
+                "schema": key.schema,
+            },
+            "payload": payload,
+        }
+        # Atomic publish: never leave a half-written cell visible.
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(record, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> None:
+        """Remove every cached cell (the directory itself is kept)."""
+        for shard in self.cache_dir.iterdir():
+            if not shard.is_dir():
+                continue
+            for cell in shard.glob("*.json"):
+                try:
+                    cell.unlink()
+                except OSError:
+                    pass
+
+    def __len__(self) -> int:
+        return sum(
+            1
+            for shard in self.cache_dir.iterdir()
+            if shard.is_dir()
+            for _ in shard.glob("*.json")
+        )
+
+
+def open_store(cache_dir: Optional[Union[str, Path]]) -> ResultStore:
+    """A :class:`DiskStore` when a directory is given, else memory."""
+    if cache_dir is None:
+        return MemoryStore()
+    return DiskStore(cache_dir)

@@ -1,0 +1,102 @@
+"""Golden-profile regression tests.
+
+Each fixture under ``tests/core/golden/`` is the fitted 7-stage profile
+of one (version, fault) phase-1 run at a pinned seed.  Any refactor of
+the simulation, the timeline collection, or the extraction/fit code that
+shifts these numbers trips the comparison — intentionally: such a change
+must either be a bug or come with regenerated goldens.
+
+Regenerate with::
+
+    PYTHONPATH=src python tests/core/test_golden_profiles.py --regen
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.extract import extract_profile
+from repro.core.stages import STAGES, SevenStageProfile
+from repro.experiments.phase1 import run_single_fault
+from repro.experiments.settings import FAULT_MTTR, Phase1Settings
+from repro.faults.spec import FaultKind
+from repro.press.cluster import SMOKE_SCALE
+from repro.press.config import ALL_VERSIONS_EXTENDED
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Pinned layout — changing any of this invalidates the fixtures.
+GOLDEN_SETTINGS = Phase1Settings(
+    scale=SMOKE_SCALE,
+    seed=1234,
+    warm=15.0,
+    fault_at=30.0,
+    fault_duration=40.0,
+    post_recovery=60.0,
+    tail=40.0,
+    replications=1,
+)
+
+GOLDEN_CASES = (
+    ("TCP-PRESS", FaultKind.LINK_DOWN),
+    ("VIA-PRESS-5", FaultKind.NODE_CRASH),
+)
+
+
+def _measure(version: str, kind: FaultKind) -> SevenStageProfile:
+    record, _cluster = run_single_fault(
+        ALL_VERSIONS_EXTENDED[version], kind, GOLDEN_SETTINGS
+    )
+    return extract_profile(
+        record, mttr=FAULT_MTTR[kind], env=GOLDEN_SETTINGS.environment
+    )
+
+
+def _fixture_path(version: str, kind: FaultKind) -> Path:
+    return GOLDEN_DIR / f"{version}_{kind.value}.json"
+
+
+@pytest.mark.parametrize("version,kind", GOLDEN_CASES)
+def test_profile_matches_golden(version, kind):
+    path = _fixture_path(version, kind)
+    golden = SevenStageProfile.from_dict(json.loads(path.read_text()))
+    measured = _measure(version, kind)
+
+    assert measured.fault == golden.fault
+    assert measured.version == golden.version
+    assert measured.normal_throughput == pytest.approx(
+        golden.normal_throughput, rel=1e-6
+    )
+    for stage in STAGES:
+        assert measured.duration(stage) == pytest.approx(
+            golden.duration(stage), rel=1e-6, abs=1e-9
+        ), f"{version}/{kind.value} stage {stage.value} duration"
+        assert measured.throughput(stage) == pytest.approx(
+            golden.throughput(stage), rel=1e-6, abs=1e-9
+        ), f"{version}/{kind.value} stage {stage.value} throughput"
+
+
+@pytest.mark.parametrize("version,kind", GOLDEN_CASES)
+def test_golden_fixture_is_nontrivial(version, kind):
+    """Guard against a regenerated fixture silently becoming no-impact."""
+    golden = SevenStageProfile.from_dict(
+        json.loads(_fixture_path(version, kind).read_text())
+    )
+    assert golden.total_duration > 0
+
+
+def _regen() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for version, kind in GOLDEN_CASES:
+        path = _fixture_path(version, kind)
+        path.write_text(
+            json.dumps(_measure(version, kind).to_dict(), indent=2, sort_keys=True)
+            + "\n"
+        )
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__" and "--regen" in sys.argv:
+    _regen()

@@ -1,0 +1,102 @@
+"""Round-trip tests for profile / profile-set serialization.
+
+The campaign result store persists fitted profiles as JSON; parallel
+campaign cells return them through pickled dicts.  Both paths must
+reproduce the floats bit-for-bit or the "parallel == serial" and
+"warm store == cold run" guarantees quietly erode.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.core.model import ProfileSet
+from repro.core.stages import STAGES, SevenStageProfile, Stage
+
+
+def _profile(version="TCP-PRESS", fault="link-down", tn=4220.7):
+    return SevenStageProfile.from_pairs(
+        fault,
+        version,
+        tn,
+        [
+            (Stage.A, 180.0, 245.3333333333333),
+            (Stage.C, 169.93333333333334, 3829.123456789),
+            (Stage.D, 24.0, 1750.0),
+        ],
+    )
+
+
+class TestProfileRoundTrip:
+    def test_dict_round_trip_is_exact(self):
+        p = _profile()
+        q = SevenStageProfile.from_dict(p.to_dict())
+        assert q == p
+
+    def test_json_round_trip_is_exact(self):
+        """Through actual JSON text: repr-based float serialization is
+        lossless for doubles."""
+        p = _profile(tn=1.0000000000000002e3)
+        q = SevenStageProfile.from_dict(json.loads(json.dumps(p.to_dict())))
+        for stage in STAGES:
+            assert q.duration(stage) == p.duration(stage)
+            assert q.throughput(stage) == p.throughput(stage)
+        assert q.normal_throughput == p.normal_throughput
+
+    def test_no_impact_profile_round_trips(self):
+        p = SevenStageProfile.no_impact("application-crash", "VIA-PRESS-5", 7000.0)
+        q = SevenStageProfile.from_dict(json.loads(json.dumps(p.to_dict())))
+        assert q == p
+        assert q.total_duration == 0.0
+
+    def test_unexhibited_stages_stay_zero(self):
+        p = _profile()
+        data = p.to_dict()
+        # Zero stages are omitted from the wire format entirely.
+        assert set(data["stages"]) == {"A", "C", "D"}
+        q = SevenStageProfile.from_dict(data)
+        assert q.duration(Stage.F) == 0.0 and q.throughput(Stage.F) == 0.0
+
+
+class TestProfileSetRoundTrip:
+    def _profile_set(self):
+        ps = ProfileSet("TCP-PRESS", 4220.7)
+        ps.add(_profile(fault="link-down"))
+        ps.add(SevenStageProfile.no_impact("node-crash", "TCP-PRESS", 4220.7))
+        return ps
+
+    def test_round_trip_preserves_everything(self):
+        ps = self._profile_set()
+        qs = ProfileSet.from_dict(json.loads(json.dumps(ps.to_dict())))
+        assert qs.version == ps.version
+        assert qs.normal_throughput == ps.normal_throughput
+        assert set(qs.keys()) == set(ps.keys())
+        for key in ps.keys():
+            assert qs.get(key) == ps.get(key)
+
+    def test_isclose_accepts_round_trip(self):
+        ps = self._profile_set()
+        qs = ProfileSet.from_dict(ps.to_dict())
+        assert ps.isclose(qs, rel_tol=0.0)
+
+    def test_isclose_rejects_version_mismatch(self):
+        ps = self._profile_set()
+        other = ProfileSet("VIA-PRESS-5", ps.normal_throughput)
+        assert not ps.isclose(other)
+
+    def test_isclose_rejects_differing_stage(self):
+        ps = self._profile_set()
+        qs = ProfileSet.from_dict(ps.to_dict())
+        qs.add(_profile(fault="link-down", tn=4220.7).with_stage(Stage.A, 999.0, 1.0))
+        assert not ps.isclose(qs)
+
+    def test_isclose_tolerance_is_relative(self):
+        ps = self._profile_set()
+        data = ps.to_dict()
+        data["normal_throughput"] *= 1 + 1e-12
+        qs = ProfileSet.from_dict(data)
+        assert ps.isclose(qs, rel_tol=1e-9)
+        assert not ps.isclose(qs, rel_tol=1e-15) or math.isclose(
+            ps.normal_throughput, qs.normal_throughput, rel_tol=1e-15
+        )

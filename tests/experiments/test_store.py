@@ -1,0 +1,151 @@
+"""Tests for the persistent campaign result store."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments.settings import DEFAULT_SETTINGS
+from repro.experiments.store import (
+    SCHEMA_VERSION,
+    CellKey,
+    DiskStore,
+    MemoryStore,
+    open_store,
+)
+
+KEY = CellKey(
+    version="TCP-PRESS",
+    settings_key=DEFAULT_SETTINGS.cache_key(),
+    fault="link-down",
+    seed=12345,
+)
+PAYLOAD = {"kind": "profile", "profile": {"fault": "link-down"}, "elapsed": 0.5}
+
+
+class TestCellKey:
+    def test_digest_is_stable(self):
+        assert KEY.digest() == KEY.digest()
+
+    def test_digest_distinguishes_every_field(self):
+        variants = [
+            dataclasses.replace(KEY, version="VIA-PRESS-5"),
+            dataclasses.replace(KEY, fault="node-crash"),
+            dataclasses.replace(KEY, fault=None),
+            dataclasses.replace(KEY, seed=54321),
+            dataclasses.replace(KEY, schema=SCHEMA_VERSION + 1),
+            dataclasses.replace(
+                KEY,
+                settings_key=dataclasses.replace(
+                    DEFAULT_SETTINGS, utilization=0.5
+                ).cache_key(),
+            ),
+        ]
+        digests = {KEY.digest()} | {v.digest() for v in variants}
+        assert len(digests) == len(variants) + 1
+
+
+class TestMemoryStore:
+    def test_miss_then_hit(self):
+        store = MemoryStore()
+        assert store.get(KEY) is None
+        store.put(KEY, PAYLOAD)
+        assert store.get(KEY) == PAYLOAD
+
+    def test_clear(self):
+        store = MemoryStore()
+        store.put(KEY, PAYLOAD)
+        store.clear()
+        assert store.get(KEY) is None
+        assert len(store) == 0
+
+
+class TestDiskStore:
+    def test_miss_then_hit(self, tmp_path):
+        store = DiskStore(tmp_path)
+        assert store.get(KEY) is None
+        store.put(KEY, PAYLOAD)
+        assert store.get(KEY) == PAYLOAD
+        assert len(store) == 1
+
+    def test_survives_reopen(self, tmp_path):
+        DiskStore(tmp_path).put(KEY, PAYLOAD)
+        assert DiskStore(tmp_path).get(KEY) == PAYLOAD
+
+    def test_settings_change_invalidates(self, tmp_path):
+        """A different settings.cache_key() is a different universe."""
+        store = DiskStore(tmp_path)
+        store.put(KEY, PAYLOAD)
+        other = dataclasses.replace(
+            KEY,
+            settings_key=dataclasses.replace(
+                DEFAULT_SETTINGS, fault_at=61.0
+            ).cache_key(),
+        )
+        assert store.get(other) is None
+
+    def test_schema_bump_invalidates(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put(KEY, PAYLOAD)
+        assert store.get(dataclasses.replace(KEY, schema=SCHEMA_VERSION + 1)) is None
+
+    def test_corrupted_file_is_a_miss(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put(KEY, PAYLOAD)
+        path = store._path(KEY)
+        path.write_text("{ this is not json")
+        assert store.get(KEY) is None
+
+    def test_truncated_file_is_a_miss(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put(KEY, PAYLOAD)
+        path = store._path(KEY)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        assert store.get(KEY) is None
+
+    def test_wrong_shape_is_a_miss(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put(KEY, PAYLOAD)
+        store._path(KEY).write_text(json.dumps([1, 2, 3]))
+        assert store.get(KEY) is None
+
+    def test_binary_garbage_is_a_miss(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put(KEY, PAYLOAD)
+        store._path(KEY).write_bytes(b"\x00\xff\xfe garbage \x80")
+        assert store.get(KEY) is None
+
+    def test_clear_removes_cells_keeps_dir(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put(KEY, PAYLOAD)
+        store.put(dataclasses.replace(KEY, seed=99), PAYLOAD)
+        store.clear()
+        assert len(store) == 0
+        assert tmp_path.exists()
+        assert store.get(KEY) is None
+
+    def test_no_tmp_droppings_after_put(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put(KEY, PAYLOAD)
+        assert not list(tmp_path.rglob("*.tmp"))
+
+    def test_cache_dir_collides_with_file(self, tmp_path):
+        target = tmp_path / "occupied"
+        target.write_text("not a directory")
+        with pytest.raises(NotADirectoryError, match="not a directory"):
+            DiskStore(target)
+
+    def test_creates_cache_dir(self, tmp_path):
+        nested = tmp_path / "a" / "b"
+        DiskStore(nested).put(KEY, PAYLOAD)
+        assert DiskStore(nested).get(KEY) == PAYLOAD
+
+
+class TestOpenStore:
+    def test_none_gives_memory(self):
+        assert isinstance(open_store(None), MemoryStore)
+
+    def test_path_gives_disk(self, tmp_path):
+        store = open_store(tmp_path / "cache")
+        assert isinstance(store, DiskStore)

@@ -1,0 +1,137 @@
+"""Property-based tests for the engine's ordering/cancellation contract.
+
+The campaign's determinism guarantee rests on three engine properties:
+same-timestamp events fire in scheduling order, cancelled timers are
+inert tombstones, and StopSimulation halts the clock exactly at the
+raising event.  Hypothesis explores the schedules a hand-written case
+would miss.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Engine, SimulationError, StopSimulation
+
+times = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@given(st.lists(times, min_size=1, max_size=40))
+def test_equal_timestamps_fire_in_scheduling_order(ts):
+    """For every timestamp, ties break by scheduling sequence."""
+    e = Engine()
+    fired = []
+    for i, t in enumerate(ts):
+        e.call_at(t, lambda i=i: fired.append(i))
+    e.run()
+    assert len(fired) == len(ts)
+    # Global order: sorted by (time, scheduling index).
+    expected = [i for i, _ in sorted(enumerate(ts), key=lambda p: (p[1], p[0]))]
+    assert fired == expected
+
+
+@given(
+    st.lists(times, min_size=1, max_size=40),
+    st.data(),
+)
+def test_cancelled_timers_never_fire(ts, data):
+    e = Engine()
+    fired = []
+    timers = [e.call_at(t, lambda i=i: fired.append(i)) for i, t in enumerate(ts)]
+    cancel = data.draw(
+        st.sets(st.integers(min_value=0, max_value=len(ts) - 1))
+    )
+    for i in cancel:
+        timers[i].cancel()
+        timers[i].cancel()  # idempotent: second cancel is a no-op
+        assert not timers[i].active
+    e.run()
+    assert set(fired) == set(range(len(ts))) - cancel
+    for i, timer in enumerate(timers):
+        if i in cancel:
+            assert not timer.fired
+        else:
+            assert timer.fired
+
+
+@given(st.lists(times, min_size=2, max_size=30, unique=True), st.data())
+def test_cancel_mid_run_tombstones_pending_timer(ts, data):
+    """A timer cancelled by an event at a strictly earlier time must not
+    fire, even though it is already sitting in the heap."""
+    ts = sorted(ts)
+    e = Engine()
+    fired = []
+    timers = [e.call_at(t, lambda i=i: fired.append(i)) for i, t in enumerate(ts)]
+    victim = data.draw(st.integers(min_value=1, max_value=len(ts) - 1))
+    # Cancel the victim from an event scheduled at time<=victim's but
+    # sequenced after the victim was pushed into the heap.
+    e.call_at(ts[victim - 1], timers[victim].cancel)
+    e.run()
+    assert victim not in fired
+    assert fired == [i for i in range(len(ts)) if i != victim]
+
+
+@given(
+    st.lists(times, min_size=1, max_size=30),
+    st.data(),
+)
+def test_stop_simulation_halts_at_raising_event(ts, data):
+    e = Engine()
+    fired = []
+    stop_at_idx = data.draw(st.integers(min_value=0, max_value=len(ts) - 1))
+    order = sorted(enumerate(ts), key=lambda p: (p[1], p[0]))
+    # Choose the stopper by *execution* position so we know exactly which
+    # events precede it.
+    stopper_sched_idx, stopper_time = order[stop_at_idx]
+
+    def make(i):
+        def cb():
+            fired.append(i)
+            if i == stopper_sched_idx:
+                raise StopSimulation
+
+        return cb
+
+    for i, t in enumerate(ts):
+        e.call_at(t, make(i))
+    e.run()
+    # Clock froze exactly at the raising event's time.
+    assert e.now == stopper_time
+    # Everything executing strictly before the stopper ran; nothing after.
+    assert fired == [i for i, _ in order[: stop_at_idx + 1]]
+    # The remaining timers are still pending, untouched.
+    assert e.pending == len(ts) - len(fired)
+
+
+def _raise_stop():
+    raise StopSimulation
+
+
+@given(times, times)
+def test_stop_leaves_engine_reusable(t1, t2):
+    """After StopSimulation, run() can be called again and the clock
+    resumes from the stop point."""
+    lo, hi = sorted((t1, t2))
+    hi = hi + 1.0
+    e = Engine()
+    e.call_at(lo, _raise_stop)
+    seen = []
+    e.call_at(hi, lambda: seen.append(e.now))
+    e.run()
+    assert e.now == lo and seen == []
+    e.run()
+    assert seen == [hi]
+
+
+@settings(max_examples=25)
+@given(st.lists(times, min_size=1, max_size=20))
+def test_peek_skips_tombstones(ts):
+    e = Engine()
+    timers = [e.call_at(t, lambda: None) for t in ts]
+    for timer in timers[::2]:
+        timer.cancel()
+    live = [t for i, t in enumerate(ts) if i % 2 == 1]
+    assert e.peek() == (min(live) if live else math.inf)

@@ -58,3 +58,50 @@ def test_figure5_command(capsys):
     out = run_cli(capsys, *FAST, "figure", "5")
     assert "bad-param-null-pointer" in out
     assert "TCP-PRESS" in out
+
+
+def test_parser_accepts_jobs_and_cache_dir(tmp_path):
+    args = build_parser().parse_args(
+        ["--jobs", "4", "--cache-dir", str(tmp_path), "campaign"]
+    )
+    assert args.jobs == 4
+    assert args.cache_dir == str(tmp_path)
+
+
+@pytest.fixture
+def restore_campaign_defaults():
+    """CLI tests mutate the process-wide campaign defaults; undo it."""
+    from repro.experiments import campaign as campaign_mod
+
+    store, jobs = campaign_mod._default_store, campaign_mod._default_jobs
+    yield
+    campaign_mod.configure(store=store, jobs=jobs)
+
+
+def test_campaign_command_with_cache_dir(
+    capsys, tmp_path, restore_campaign_defaults
+):
+    cache = tmp_path / "cache"
+    argv = [
+        *FAST, "--cache-dir", str(cache), "campaign",
+        "--versions", "TCP-PRESS",
+    ]
+    out = run_cli(capsys, *argv)
+    assert "PHASE 1" in out and "campaign:" in out
+    assert "0 from cache" in out
+    assert any(cache.rglob("*.json"))
+    # Second invocation replays entirely from the store.
+    out = run_cli(capsys, *argv)
+    assert "0 executed" in out
+
+
+def test_campaign_clear_cache_flag(
+    capsys, tmp_path, restore_campaign_defaults
+):
+    cache = tmp_path / "cache"
+    argv = [*FAST, "--cache-dir", str(cache)]
+    run_cli(capsys, *argv, "campaign", "--versions", "TCP-PRESS")
+    out = run_cli(
+        capsys, *argv, "--clear-cache", "campaign", "--versions", "TCP-PRESS"
+    )
+    assert "0 from cache" in out
