@@ -23,6 +23,7 @@ import sys
 from .experiments.settings import Phase1Settings
 from .experiments.store import CACHE_DIR_ENV
 from .faults.spec import FaultKind
+from .obs.exporters import TRACE_FORMATS
 from .press.cluster import ExperimentScale
 
 
@@ -80,15 +81,43 @@ def cmd_figure(args) -> None:
 
 def cmd_timeline(args) -> None:
     from .analysis.report import timeline_report
-    from .experiments.phase1 import run_by_name
+    from .experiments.phase1 import run_single_fault
+    from .press.config import ALL_VERSIONS_EXTENDED
 
     kind = FaultKind(args.fault)
-    record, _cluster = run_by_name(args.version, kind, _settings(args))
+    recorder = None
+    if args.trace_dir:
+        from .obs.bus import EventRecorder
+
+        recorder = EventRecorder(keep_events=True)
+    record, cluster = run_single_fault(
+        ALL_VERSIONS_EXTENDED[args.version], kind, _settings(args),
+        recorder=recorder,
+    )
     print(timeline_report(record))
+    if recorder is not None:
+        from .obs.exporters import export_run, telemetry_summary
+
+        label = f"{args.version}__{kind.value}__seed{args.seed}"
+        paths = export_run(
+            recorder.events,
+            args.trace_dir,
+            label,
+            args.trace_format,
+            meta={"version": args.version, "fault": kind.value,
+                  "seed": args.seed},
+        )
+        summary = telemetry_summary(recorder, cluster.metrics)
+        print(f"trace: {summary['event_total']} events ->",
+              " ".join(str(p) for p in paths))
 
 
 def cmd_campaign(args) -> None:
-    from .analysis.report import campaign_report, campaign_timing_report
+    from .analysis.report import (
+        campaign_report,
+        campaign_timing_report,
+        trace_summary_report,
+    )
     from .experiments.campaign import full_campaign_with_report
 
     campaign, timing = full_campaign_with_report(
@@ -96,6 +125,9 @@ def cmd_campaign(args) -> None:
     )
     print(campaign_report(campaign))
     print(campaign_timing_report(timing))
+    traces = trace_summary_report(timing)
+    if traces:
+        print(traces)
 
 
 def cmd_crossover(args) -> None:
@@ -169,6 +201,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--clear-cache", action="store_true",
         help="drop every cached campaign cell in --cache-dir, then run",
     )
+    parser.add_argument(
+        "--trace-dir", default=None,
+        help="emit one structured trace per run/cell into this directory "
+        "(campaign cells always execute when tracing)",
+    )
+    parser.add_argument(
+        "--trace-format", choices=list(TRACE_FORMATS), default="both",
+        help="trace file flavour: JSONL events, Chrome trace_event "
+        "(load in Perfetto), or both (default)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("table1", help="near-peak throughput of the 5 versions")
@@ -199,14 +241,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _configure_campaign(args) -> None:
-    """Apply --jobs/--cache-dir to every campaign this process runs."""
+    """Apply --jobs/--cache-dir/--trace-dir to every campaign this
+    process runs."""
     from .experiments.campaign import configure
     from .experiments.store import open_store
 
     store = open_store(args.cache_dir) if args.cache_dir else None
     if store is not None and args.clear_cache:
         store.clear()
-    configure(store=store, jobs=args.jobs)
+    configure(
+        store=store,
+        jobs=args.jobs,
+        trace_dir=args.trace_dir,
+        trace_format=args.trace_format,
+    )
 
 
 def main(argv=None) -> None:

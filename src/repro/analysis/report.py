@@ -119,6 +119,37 @@ def campaign_timing_report(report) -> str:
     return "\n".join(lines)
 
 
+def trace_summary_report(report) -> str:
+    """Campaign-level run telemetry (a ``CampaignReport``).
+
+    Aggregates the per-cell event counts recorded by the observability
+    bus into one campaign-wide table, and surfaces store notices (e.g.
+    "cache invalidated (schema v1→v2)") so silent re-runs become
+    visible.
+    """
+    lines = []
+    for notice in report.notices:
+        lines.append(f"note: {notice}")
+    totals = report.event_totals()
+    instrumented = sum(1 for c in report.cells if c.telemetry)
+    if not totals:
+        if instrumented == 0 and report.cells:
+            lines.append(
+                "no run telemetry recorded (cells served from a"
+                " pre-telemetry cache; re-run with --clear-cache to collect)"
+            )
+        return "\n".join(lines)
+    lines.append(
+        f"run telemetry: {sum(totals.values())} events across"
+        f" {instrumented} cell(s)"
+    )
+    shown = dict(
+        sorted(totals.items(), key=lambda kv: -kv[1])
+    )
+    lines.append(bar_chart(shown, width=30, unit=""))
+    return "\n".join(lines)
+
+
 def timeline_report(record, bucket: float = 10.0) -> str:
     """Render one phase-1 record: plot + annotated instants."""
     tl = record.timeline

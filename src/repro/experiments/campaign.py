@@ -8,10 +8,11 @@ process-local :class:`MemoryStore` (Figures 6-10 all consume the same
 phase-1 measurements, exactly how the paper reuses its data), optionally
 a :class:`DiskStore` that survives interpreter restarts.
 
-``configure(store=..., jobs=...)`` changes the process-wide defaults so
-entry points (the CLI's ``--jobs`` / ``--cache-dir`` flags, the
-benchmark fixtures) can redirect every internal campaign without
-threading arguments through each figure function.
+``configure(store=..., jobs=..., trace_dir=...)`` changes the
+process-wide defaults so entry points (the CLI's ``--jobs`` /
+``--cache-dir`` / ``--trace-dir`` flags, the benchmark fixtures) can
+redirect every internal campaign without threading arguments through
+each figure function.
 """
 
 from __future__ import annotations
@@ -28,17 +29,28 @@ from .store import MemoryStore, ResultStore
 #: Process-wide defaults, set once by entry points via :func:`configure`.
 _default_store: ResultStore = MemoryStore()
 _default_jobs: int = 1
+_default_trace_dir: Optional[str] = None
+_default_trace_format: str = "both"
 
 
 def configure(
-    store: Optional[ResultStore] = None, jobs: Optional[int] = None
+    store: Optional[ResultStore] = None,
+    jobs: Optional[int] = None,
+    trace_dir: Optional[str] = None,
+    trace_format: Optional[str] = None,
 ) -> None:
-    """Set the store/parallelism every campaign uses unless overridden."""
-    global _default_store, _default_jobs
+    """Set the store/parallelism/tracing every campaign uses unless
+    overridden."""
+    global _default_store, _default_jobs, _default_trace_dir
+    global _default_trace_format
     if store is not None:
         _default_store = store
     if jobs is not None:
         _default_jobs = max(1, int(jobs))
+    if trace_dir is not None:
+        _default_trace_dir = str(trace_dir)
+    if trace_format is not None:
+        _default_trace_format = trace_format
 
 
 def default_store() -> ResultStore:
@@ -65,6 +77,8 @@ def measure_profile_set(
         jobs=jobs if jobs is not None else _default_jobs,
         store=store if store is not None else _default_store,
         use_cache=use_cache,
+        trace_dir=_default_trace_dir,
+        trace_format=_default_trace_format,
     )
     return sets[version]
 
@@ -101,6 +115,8 @@ def full_campaign_with_report(
         jobs=jobs if jobs is not None else _default_jobs,
         store=store if store is not None else _default_store,
         use_cache=use_cache,
+        trace_dir=_default_trace_dir,
+        trace_format=_default_trace_format,
     )
 
 

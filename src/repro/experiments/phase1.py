@@ -60,10 +60,19 @@ def _collect_timeline(
 
 
 def run_baseline(
-    config: PressConfig, settings: Phase1Settings = DEFAULT_SETTINGS
+    config: PressConfig,
+    settings: Phase1Settings = DEFAULT_SETTINGS,
+    recorder=None,
 ) -> Tuple[float, PressCluster]:
-    """Fault-free run; returns (Tn in paper units, cluster)."""
+    """Fault-free run; returns (Tn in paper units, cluster).
+
+    ``recorder`` (an :class:`~repro.obs.bus.EventRecorder` or any object
+    with ``attach(bus)``) is subscribed to the cluster's event bus before
+    the run starts.
+    """
     cluster = build_cluster(config, settings)
+    if recorder is not None:
+        recorder.attach(cluster.bus)
     cluster.start()
     end = settings.warm + settings.fault_at
     cluster.run_until(end)
@@ -77,9 +86,12 @@ def run_single_fault(
     settings: Phase1Settings = DEFAULT_SETTINGS,
     target: Optional[str] = DEFAULT_TARGET,
     normal_throughput: Optional[float] = None,
+    recorder=None,
 ) -> Tuple[ExperimentRecord, PressCluster]:
     """Inject ``kind`` into a running cluster and record the response."""
     cluster = build_cluster(config, settings)
+    if recorder is not None:
+        recorder.attach(cluster.bus)
     cluster.start()
 
     duration = settings.fault_duration if kind in DURATION_FAULTS else 0.0

@@ -65,14 +65,29 @@ def cell_seed(
 
 
 def _baseline_cell(
-    version: str, settings: Phase1Settings, seed: int
+    version: str,
+    settings: Phase1Settings,
+    seed: int,
+    trace: Optional[tuple] = None,
 ) -> dict:
+    from ..obs.bus import EventRecorder
+    from ..obs.exporters import telemetry_summary
     from .phase1 import run_baseline
 
     cell_settings = dataclasses.replace(settings, seed=seed)
+    recorder = EventRecorder(keep_events=trace is not None)
     start = time.perf_counter()
-    tn, _cluster = run_baseline(ALL_VERSIONS_EXTENDED[version], cell_settings)
-    return {"kind": "baseline", "tn": tn, "elapsed": time.perf_counter() - start}
+    tn, cluster = run_baseline(
+        ALL_VERSIONS_EXTENDED[version], cell_settings, recorder=recorder
+    )
+    payload = {
+        "kind": "baseline",
+        "tn": tn,
+        "elapsed": time.perf_counter() - start,
+        "telemetry": telemetry_summary(recorder, cluster.metrics),
+    }
+    _export_cell_trace(recorder, trace, version=version, fault=None, seed=seed)
+    return payload
 
 
 def _fault_cell(
@@ -80,12 +95,16 @@ def _fault_cell(
     fault_value: str,
     settings: Phase1Settings,
     seed: int,
+    trace: Optional[tuple] = None,
 ) -> dict:
     from ..core.extract import extract_profile
+    from ..obs.bus import EventRecorder
+    from ..obs.exporters import telemetry_summary
     from .phase1 import run_single_fault
 
     kind = FaultKind(fault_value)
     cell_settings = dataclasses.replace(settings, seed=seed)
+    recorder = EventRecorder(keep_events=trace is not None)
     start = time.perf_counter()
     # The cell measures its *own* pre-injection throughput as Tn.  The
     # extraction thresholds (impact/recovery, a few percent of Tn) need
@@ -93,17 +112,44 @@ def _fault_cell(
     # seed differs by bucket noise of the same order.  (The historical
     # serial path got this correlation implicitly by running baseline
     # and faults under one seed per replication.)
-    record, _cluster = run_single_fault(
-        ALL_VERSIONS_EXTENDED[version], kind, cell_settings
+    record, cluster = run_single_fault(
+        ALL_VERSIONS_EXTENDED[version], kind, cell_settings, recorder=recorder
     )
     profile = extract_profile(
         record, mttr=FAULT_MTTR[kind], env=settings.environment
     )
-    return {
+    payload = {
         "kind": "profile",
         "profile": profile.to_dict(),
         "elapsed": time.perf_counter() - start,
+        "telemetry": telemetry_summary(recorder, cluster.metrics),
     }
+    _export_cell_trace(
+        recorder, trace, version=version, fault=fault_value, seed=seed
+    )
+    return payload
+
+
+def _export_cell_trace(
+    recorder, trace: Optional[tuple], version: str, fault: Optional[str], seed: int
+) -> None:
+    """Write one cell's recorded events when tracing is on.
+
+    ``trace`` is ``(trace_dir, trace_format, label)`` as packed by
+    :class:`CampaignRunner`, or ``None`` when tracing is off.
+    """
+    if trace is None:
+        return
+    from ..obs.exporters import export_run
+
+    trace_dir, fmt, label = trace
+    export_run(
+        recorder.events,
+        trace_dir,
+        label,
+        fmt,
+        meta={"version": version, "fault": fault, "seed": seed},
+    )
 
 
 # ----------------------------------------------------------------------
@@ -121,6 +167,9 @@ class CellRecord:
     seed: int
     elapsed: float  # simulation wall-clock (0.0 for cache hits)
     cached: bool
+    #: per-cell run telemetry (event counts + metrics snapshot); None
+    #: for cells loaded from a pre-telemetry (schema v1) payload
+    telemetry: Optional[dict] = None
 
 
 @dataclass
@@ -130,6 +179,8 @@ class CampaignReport:
     jobs: int = 1
     wall_clock: float = 0.0
     cells: List[CellRecord] = field(default_factory=list)
+    #: one-line run-telemetry notices (e.g. schema-bump invalidations)
+    notices: List[str] = field(default_factory=list)
 
     @property
     def executed(self) -> int:
@@ -162,6 +213,16 @@ class CampaignReport:
         for c in self.cells:
             label = c.fault if c.fault is not None else "baseline"
             out[label] = out.get(label, 0.0) + c.elapsed
+        return out
+
+    def event_totals(self) -> Dict[str, int]:
+        """Campaign-wide event counts summed over cell telemetry."""
+        out: Dict[str, int] = {}
+        for c in self.cells:
+            if not c.telemetry:
+                continue
+            for name, n in c.telemetry.get("events", {}).items():
+                out[name] = out.get(name, 0) + n
         return out
 
 
@@ -201,12 +262,16 @@ class CampaignRunner:
         jobs: int = 1,
         use_cache: bool = True,
         on_cell: Optional[Callable[[CellRecord], None]] = None,
+        trace_dir: Optional[str] = None,
+        trace_format: str = "both",
     ):
         self.settings = settings
         self.store = store if store is not None else MemoryStore()
         self.jobs = max(1, int(jobs))
         self.use_cache = use_cache
         self.on_cell = on_cell
+        self.trace_dir = str(trace_dir) if trace_dir is not None else None
+        self.trace_format = trace_format
         self._settings_key = settings.cache_key()
 
     # -- grid ----------------------------------------------------------
@@ -232,7 +297,18 @@ class CampaignRunner:
     def _lookup(self, cell: _Cell) -> Optional[dict]:
         if not self.use_cache:
             return None
+        if self.trace_dir is not None:
+            # Tracing forces execution: a cached payload has no event
+            # stream to export.  Results are still stored, so the next
+            # un-traced run replays warm.
+            return None
         return self.store.get(cell.key(self._settings_key))
+
+    def _trace_arg(self, cell: _Cell) -> Optional[tuple]:
+        if self.trace_dir is None:
+            return None
+        label = f"{cell.version}__{cell.fault or 'baseline'}__rep{cell.rep}"
+        return (self.trace_dir, self.trace_format, label)
 
     def _record(
         self, report: CampaignReport, cell: _Cell, payload: dict, cached: bool
@@ -244,6 +320,7 @@ class CampaignRunner:
             seed=cell.seed,
             elapsed=0.0 if cached else float(payload.get("elapsed", 0.0)),
             cached=cached,
+            telemetry=payload.get("telemetry"),
         )
         report.cells.append(rec)
         if self.on_cell is not None:
@@ -321,10 +398,29 @@ class CampaignRunner:
                 payloads[cell] = hit
                 self._record(report, cell, hit, cached=True)
             elif cell.fault is None:
-                misses.append((cell, (cell.version, self.settings, cell.seed)))
+                misses.append(
+                    (
+                        cell,
+                        (
+                            cell.version,
+                            self.settings,
+                            cell.seed,
+                            self._trace_arg(cell),
+                        ),
+                    )
+                )
             else:
                 misses.append(
-                    (cell, (cell.version, cell.fault, self.settings, cell.seed))
+                    (
+                        cell,
+                        (
+                            cell.version,
+                            cell.fault,
+                            self.settings,
+                            cell.seed,
+                            self._trace_arg(cell),
+                        ),
+                    )
                 )
         payloads.update(self._execute_wave(misses, report))
         tn_by_cell = {
@@ -353,6 +449,7 @@ class CampaignRunner:
                 profiles.add(average_profiles(per_fault[kind.value]))
             out[version] = profiles
 
+        report.notices.extend(self.store.drain_notices())
         report.wall_clock = time.perf_counter() - started
         return out, report
 
@@ -365,9 +462,17 @@ def run_campaign(
     store: Optional[ResultStore] = None,
     use_cache: bool = True,
     on_cell: Optional[Callable[[CellRecord], None]] = None,
+    trace_dir: Optional[str] = None,
+    trace_format: str = "both",
 ) -> Tuple[Dict[str, ProfileSet], CampaignReport]:
     """One-shot convenience wrapper around :class:`CampaignRunner`."""
     runner = CampaignRunner(
-        settings, store=store, jobs=jobs, use_cache=use_cache, on_cell=on_cell
+        settings,
+        store=store,
+        jobs=jobs,
+        use_cache=use_cache,
+        on_cell=on_cell,
+        trace_dir=trace_dir,
+        trace_format=trace_format,
     )
     return runner.run(versions, faults)

@@ -21,6 +21,7 @@ cell at once.  Two store flavors share one interface:
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import os
@@ -30,8 +31,11 @@ from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
 #: Bump when simulation/extraction changes invalidate previously cached
-#: cell results.
-SCHEMA_VERSION = 1
+#: cell results.  History:
+#:   v1 — original payload shape ({"kind", "tn"/"profile", "elapsed"}).
+#:   v2 — payloads carry a per-cell "telemetry" summary (event counts +
+#:        metrics registry snapshot) recorded by the obs subsystem.
+SCHEMA_VERSION = 2
 
 #: Environment variable consulted by the CLI for a default cache dir.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -73,6 +77,15 @@ class ResultStore:
     def clear(self) -> None:  # pragma: no cover
         raise NotImplementedError
 
+    def drain_notices(self) -> "list[str]":
+        """One-line run-telemetry notices accumulated since last drain.
+
+        A schema bump must not silently re-run cached cells: stores that
+        notice stale-generation results report them here, and the
+        campaign surfaces the notices in its report.
+        """
+        return []
+
 
 class MemoryStore(ResultStore):
     """Process-local store; survives nothing, costs nothing."""
@@ -109,6 +122,9 @@ class DiskStore(ResultStore):
             raise NotADirectoryError(
                 f"cache dir {self.cache_dir} exists and is not a directory"
             ) from None
+        # Misses whose key exists under an older schema version, counted
+        # per old version for drain_notices().
+        self._stale_schema_hits: Dict[int, int] = {}
 
     def _path(self, key: CellKey) -> Path:
         digest = key.digest()
@@ -119,9 +135,12 @@ class DiskStore(ResultStore):
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 data = json.load(fh)
+        except FileNotFoundError:
+            self._note_stale_generation(key)
+            return None
         except (OSError, json.JSONDecodeError, UnicodeDecodeError):
-            # Missing, truncated, or corrupted: treat as a miss so the
-            # cell is re-run rather than crashing the campaign.
+            # Truncated or corrupted: treat as a miss so the cell is
+            # re-run rather than crashing the campaign.
             return None
         if not isinstance(data, dict) or "payload" not in data:
             return None
@@ -153,6 +172,29 @@ class DiskStore(ResultStore):
             except OSError:
                 pass
             raise
+
+    def _note_stale_generation(self, key: CellKey) -> None:
+        """A miss at the current schema: check for older-schema results.
+
+        Finding one means a schema bump (not a cold cache) is forcing the
+        re-run — worth a notice instead of mutely re-simulating.
+        """
+        for old in range(1, key.schema):
+            old_key = dataclasses.replace(key, schema=old)
+            if self._path(old_key).exists():
+                self._stale_schema_hits[old] = (
+                    self._stale_schema_hits.get(old, 0) + 1
+                )
+                return
+
+    def drain_notices(self) -> "list[str]":
+        notices = [
+            f"cache invalidated (schema v{old}\u2192v{SCHEMA_VERSION}): "
+            f"{n} cell(s) re-run"
+            for old, n in sorted(self._stale_schema_hits.items())
+        ]
+        self._stale_schema_hits = {}
+        return notices
 
     def clear(self) -> None:
         """Remove every cached cell (the directory itself is kept)."""

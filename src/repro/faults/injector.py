@@ -17,6 +17,7 @@ from ..net.fabric import Fabric
 from ..net.link import intra_cluster_kind
 from ..osim.node import Node
 from ..sim.engine import Engine
+from ..obs.events import FAULT_CLEARED, FAULT_INJECTED
 from ..sim.monitor import Annotations
 from ..transports.base import CorruptionKind, Message, Transport
 from .spec import FaultKind, FaultSpec
@@ -50,6 +51,7 @@ class Mendosus:
     def inject(self, spec: FaultSpec) -> None:
         """Fire ``spec`` now."""
         self.injected.append(spec)
+        self._publish(FAULT_INJECTED, spec)
         self.annotations.mark("fault-injected", spec.label())
         handler = {
             FaultKind.LINK_DOWN: self._link_down,
@@ -67,7 +69,19 @@ class Mendosus:
         handler(spec)
 
     def _cleared(self, spec: FaultSpec) -> None:
+        self._publish(FAULT_CLEARED, spec)
         self.annotations.mark("fault-cleared", spec.label())
+
+    def _publish(self, name: str, spec: FaultSpec) -> None:
+        bus = self.engine.bus
+        if bus is not None:
+            bus.publish(
+                name,
+                node=spec.target or "",
+                fault=spec.label(),
+                kind=spec.kind.value,
+                target=spec.target or "",
+            )
 
     # ------------------------------------------------------------------
     # Network hardware

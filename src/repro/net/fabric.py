@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from ..obs.events import NET_FRAME_DROP
+from ..obs.metrics import bound_counter
 from ..sim.engine import Engine
 from .link import CLAN_BANDWIDTH, CLAN_LATENCY, Link
 from .nic import Nic
@@ -30,8 +32,28 @@ class Fabric:
         self.switch = switch if switch is not None else Switch(engine)
         self.nics: Dict[str, Nic] = {}
         self.links: Dict[str, Link] = {}
-        self.frames_delivered = 0
-        self.frames_lost = 0
+        self._frames_delivered = bound_counter(engine, "net.fabric.frames_delivered")
+        self._frames_lost = bound_counter(engine, "net.fabric.frames_lost")
+
+    @property
+    def frames_delivered(self) -> int:
+        return self._frames_delivered.value
+
+    @property
+    def frames_lost(self) -> int:
+        return self._frames_lost.value
+
+    def _lose(self, frame: Frame, reason: str) -> None:
+        self._frames_lost.inc()
+        bus = self.engine.bus
+        if bus is not None:
+            bus.publish(
+                NET_FRAME_DROP,
+                node=frame.src,
+                kind=frame.kind,
+                dst=frame.dst,
+                reason=reason,
+            )
 
     # -- assembly ------------------------------------------------------------
     def attach(
@@ -98,7 +120,7 @@ class Fabric:
         if src_nic.reports_errors and not self.path_up(
             frame.src, frame.dst, frame.kind
         ):
-            self.frames_lost += 1
+            self._lose(frame, f"unreachable:{frame.dst}")
             src_nic.report_error(f"unreachable:{frame.dst}")
             return False
 
@@ -110,7 +132,7 @@ class Fabric:
             lambda: self._at_switch(frame, wire_size),
         )
         if not sent:
-            self.frames_lost += 1
+            self._lose(frame, f"link-down:{frame.src}")
             src_nic.report_error(f"link-down:{frame.src}")
             return False
         return True
@@ -120,7 +142,7 @@ class Fabric:
             frame.dst, lambda: self._at_dst_link(frame, wire_size)
         )
         if not forwarded:
-            self.frames_lost += 1
+            self._lose(frame, "switch-down")
             self._report_to_sender(frame, "switch-down")
 
     def _at_dst_link(self, frame: Frame, wire_size: int) -> None:
@@ -129,16 +151,16 @@ class Fabric:
             "b2a", wire_size, frame.kind, lambda: self._deliver(frame)
         )
         if not sent:
-            self.frames_lost += 1
+            self._lose(frame, f"link-down:{frame.dst}")
             self._report_to_sender(frame, f"link-down:{frame.dst}")
 
     def _deliver(self, frame: Frame) -> None:
         dst_nic = self.nics[frame.dst]
         if not dst_nic.powered:
-            self.frames_lost += 1
+            self._lose(frame, f"node-down:{frame.dst}")
             self._report_to_sender(frame, f"node-down:{frame.dst}")
             return
-        self.frames_delivered += 1
+        self._frames_delivered.inc()
         dst_nic.deliver(frame)
 
     def _report_to_sender(self, frame: Frame, reason: str) -> None:

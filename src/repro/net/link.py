@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from ..obs.events import NET_FRAME_DROP
+from ..obs.metrics import bound_counter
 from ..sim.engine import Engine
 
 #: 1 Gb/s cLAN expressed in bytes/second.
@@ -57,8 +59,24 @@ class Link:
         self.loss_fn = loss_fn
         self._down_filter: Optional[Callable[[str], bool]] = None
         self._busy_until = {"a2b": 0.0, "b2a": 0.0}
-        self.frames_carried = 0
-        self.frames_lost = 0
+        self._frames_carried = bound_counter(
+            engine, "net.link.frames_carried", link=name
+        )
+        self._frames_lost = bound_counter(engine, "net.link.frames_lost", link=name)
+
+    @property
+    def frames_carried(self) -> int:
+        return self._frames_carried.value
+
+    @property
+    def frames_lost(self) -> int:
+        return self._frames_lost.value
+
+    def _lose(self, kind: str, reason: str) -> None:
+        self._frames_lost.inc()
+        bus = self.engine.bus
+        if bus is not None:
+            bus.publish(NET_FRAME_DROP, link=self.name, kind=kind, reason=reason)
 
     # -- fault control ---------------------------------------------------
     @property
@@ -95,16 +113,16 @@ class Link:
         means (TCP: wait for RTO; VIA: hardware error).
         """
         if not self.carries(kind):
-            self.frames_lost += 1
+            self._lose(kind, "link-down")
             return False
         if self.loss_fn is not None and self.loss_fn():
-            self.frames_lost += 1
+            self._lose(kind, "loss-process")
             return False
         engine = self.engine
         start = max(engine.now, self._busy_until[direction])
         done = start + size / self.bandwidth
         self._busy_until[direction] = done
-        self.frames_carried += 1
+        self._frames_carried.inc()
         engine.call_at(done + self.latency, self._arrive, kind, deliver)
         return True
 
@@ -112,7 +130,7 @@ class Link:
         # A frame already on the wire when the link fails is lost too:
         # fail-stop kills in-flight data.
         if not self.carries(kind):
-            self.frames_lost += 1
+            self._lose(kind, "link-down-in-flight")
             return
         deliver()
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from ..obs.metrics import bound_counter
 from ..sim.engine import Engine
 from .link import Link
 from .packet import Frame
@@ -43,10 +44,26 @@ class Nic:
         self.rx_handler: Optional[Callable[[Frame], None]] = None
         self._kind_handlers: dict[str, Callable[[Frame], None]] = {}
         self.error_handler: Optional[Callable[[str], None]] = None
-        self.frames_sent = 0
-        self.frames_received = 0
-        self.frames_dropped_rx = 0
+        self._frames_sent = bound_counter(engine, "net.nic.frames_sent", node=node_id)
+        self._frames_received = bound_counter(
+            engine, "net.nic.frames_received", node=node_id
+        )
+        self._frames_dropped_rx = bound_counter(
+            engine, "net.nic.frames_dropped_rx", node=node_id
+        )
         self._fabric = None  # set by Fabric.attach
+
+    @property
+    def frames_sent(self) -> int:
+        return self._frames_sent.value
+
+    @property
+    def frames_received(self) -> int:
+        return self._frames_received.value
+
+    @property
+    def frames_dropped_rx(self) -> int:
+        return self._frames_dropped_rx.value
 
     # -- wiring ------------------------------------------------------------
     def on_receive(self, handler: Callable[[Frame], None]) -> None:
@@ -88,19 +105,19 @@ class Nic:
             raise RuntimeError(f"NIC {self.node_id} not attached to a fabric")
         accepted = self._fabric.transmit(self, frame)
         if accepted:
-            self.frames_sent += 1
+            self._frames_sent.inc()
         return accepted
 
     def deliver(self, frame: Frame) -> None:
         """Called by the fabric when a frame arrives."""
         if not self.powered:
-            self.frames_dropped_rx += 1
+            self._frames_dropped_rx.inc()
             return
         handler = self._kind_handlers.get(frame.kind, self.rx_handler)
         if handler is None:
-            self.frames_dropped_rx += 1
+            self._frames_dropped_rx.inc()
             return
-        self.frames_received += 1
+        self._frames_received.inc()
         handler(frame)
 
     def report_error(self, reason: str) -> None:

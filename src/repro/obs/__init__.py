@@ -1,0 +1,57 @@
+"""Observability: structured event tracing + metrics for simulation runs.
+
+The paper's whole contribution is *measurement*, and this package is the
+measurement substrate of the reproduction:
+
+* :mod:`repro.obs.bus` — a structured, sim-time-stamped event bus hooked
+  into the :class:`~repro.sim.engine.Engine`.  Any component can publish
+  typed events (packet drop, retransmit, VIA descriptor error, cache
+  hit/miss, membership change, fault inject/clear) with zero overhead
+  when nothing is listening.
+* :mod:`repro.obs.events` — the event taxonomy (names + field contracts).
+* :mod:`repro.obs.metrics` — a registry of counters/gauges/histograms
+  keyed by ``layer.component.metric`` plus labels, which the net,
+  transport, osim, and press layers register into (backing the public
+  counter attributes they have always exposed).
+* :mod:`repro.obs.exporters` — render a recorded run as JSONL or Chrome
+  ``trace_event`` JSON (loadable in Perfetto / ``chrome://tracing``), and
+  summarize it into the compact per-cell telemetry dict the campaign
+  result store persists.
+
+See ``OBSERVABILITY.md`` at the repo root for the taxonomy, the naming
+convention, and how to open a trace in Perfetto.
+"""
+
+from .bus import EventBus, EventRecorder, SimEvent
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, bound_counter
+from .exporters import (
+    chrome_trace,
+    export_run,
+    read_events_jsonl,
+    telemetry_summary,
+    validate_chrome_trace,
+    validate_events_jsonl,
+    validate_trace_dir,
+    write_chrome_trace,
+    write_events_jsonl,
+)
+
+__all__ = [
+    "EventBus",
+    "EventRecorder",
+    "SimEvent",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "bound_counter",
+    "chrome_trace",
+    "export_run",
+    "read_events_jsonl",
+    "telemetry_summary",
+    "validate_chrome_trace",
+    "validate_events_jsonl",
+    "validate_trace_dir",
+    "write_chrome_trace",
+    "write_events_jsonl",
+]

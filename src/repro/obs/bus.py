@@ -1,0 +1,148 @@
+"""A structured, sim-time-stamped event bus for the simulation.
+
+Components publish named events through :class:`EventBus`; subscribers
+receive them synchronously, in publish order — which, because every
+publish happens inside an engine timer callback, is exactly the engine's
+deterministic timer order.  With no subscriber attached, ``publish`` is
+a dict lookup and a return: cheap enough to leave in every hot path.
+
+Publishing never schedules engine events, touches RNG streams, or
+mutates component state, so attaching a subscriber cannot perturb a run:
+the observer effect is zero by construction (guarded by
+``tests/obs/test_determinism.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+Subscriber = Callable[["SimEvent"], None]
+
+
+@dataclass(frozen=True, slots=True)
+class SimEvent:
+    """One published event: what happened, where, and at what sim time."""
+
+    time: float
+    seq: int
+    name: str
+    node: str = ""
+    fields: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        d = {"time": self.time, "seq": self.seq, "name": self.name}
+        if self.node:
+            d["node"] = self.node
+        if self.fields:
+            d["fields"] = self.fields
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SimEvent":
+        return cls(
+            time=float(d["time"]),
+            seq=int(d["seq"]),
+            name=str(d["name"]),
+            node=str(d.get("node", "")),
+            fields=dict(d.get("fields", {})),
+        )
+
+
+class EventBus:
+    """Publish/subscribe hub bound to one :class:`~repro.sim.engine.Engine`.
+
+    Subscribers registered with ``names=None`` see every event; those
+    registered with a name list see only those names.  Delivery is
+    synchronous and exception-isolated: a subscriber that raises is
+    counted in ``subscriber_errors`` and the run continues.
+    """
+
+    def __init__(self, engine) -> None:
+        self.engine = engine
+        self._all: List[Subscriber] = []
+        self._by_name: Dict[str, List[Subscriber]] = {}
+        self._seq = 0
+        self.published = 0
+        self.subscriber_errors = 0
+
+    @property
+    def active(self) -> bool:
+        """True if at least one subscriber is attached (any scope)."""
+        return bool(self._all) or bool(self._by_name)
+
+    def subscribe(
+        self, fn: Subscriber, names: Optional[Iterable[str]] = None
+    ) -> Subscriber:
+        """Register ``fn`` for all events, or just the given names."""
+        if names is None:
+            self._all.append(fn)
+        else:
+            for name in names:
+                self._by_name.setdefault(name, []).append(fn)
+        return fn
+
+    def unsubscribe(self, fn: Subscriber) -> None:
+        """Remove ``fn`` everywhere it is registered."""
+        if fn in self._all:
+            self._all.remove(fn)
+        for name in list(self._by_name):
+            subs = self._by_name[name]
+            if fn in subs:
+                subs.remove(fn)
+            if not subs:
+                del self._by_name[name]
+
+    def publish(self, name: str, node: str = "", **fields) -> Optional[SimEvent]:
+        """Publish one event; returns it, or None on the fast path.
+
+        The fast path — no subscriber cares about ``name`` — does not
+        build the event object at all.
+        """
+        named = self._by_name.get(name)
+        if not named and not self._all:
+            return None
+        self._seq += 1
+        event = SimEvent(
+            time=self.engine.now, seq=self._seq, name=name, node=node, fields=fields
+        )
+        self.published += 1
+        for fn in self._all:
+            try:
+                fn(event)
+            except Exception:
+                self.subscriber_errors += 1
+        if named:
+            for fn in list(named):
+                try:
+                    fn(event)
+                except Exception:
+                    self.subscriber_errors += 1
+        return event
+
+
+class EventRecorder:
+    """A subscriber that keeps per-name counts and (optionally) the events.
+
+    ``keep_events=False`` gives the compact always-on campaign telemetry:
+    just counts, no per-event storage.
+    """
+
+    def __init__(self, keep_events: bool = True) -> None:
+        self.keep_events = keep_events
+        self.events: List[SimEvent] = []
+        self.counts: Dict[str, int] = {}
+
+    def __call__(self, event: SimEvent) -> None:
+        self.counts[event.name] = self.counts.get(event.name, 0) + 1
+        if self.keep_events:
+            self.events.append(event)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def attach(self, bus: EventBus) -> "EventRecorder":
+        """Subscribe to every event on ``bus``; returns self for chaining."""
+        bus.subscribe(self)
+        return self

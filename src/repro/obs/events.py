@@ -1,0 +1,106 @@
+"""The event taxonomy: every name the simulation publishes on the bus.
+
+Names follow the metric naming convention, ``layer.component.detail``,
+so a trace viewer groups them naturally and the Chrome-trace exporter can
+derive one track per (node, layer) pair.  Publishing an unknown name is
+allowed (the bus is open), but everything the shipped components emit is
+declared here so exporter validation and the docs have one source of
+truth.
+"""
+
+from __future__ import annotations
+
+# -- network hardware ---------------------------------------------------
+#: A frame was lost somewhere on the fabric (link down, switch down,
+#: powered-off NIC, loss process).  Fields: kind, reason.
+NET_FRAME_DROP = "net.frame.drop"
+
+# -- TCP transport ------------------------------------------------------
+#: Retransmission timeout fired; go-back-N rewind.  Fields: peer, rto.
+TCP_RETRANSMIT = "tcp.endpoint.retransmit"
+#: A connection died.  Fields: peer, reason.
+TCP_ENDPOINT_BROKEN = "tcp.endpoint.broken"
+#: Garbage framing header — the byte-stream corruption of §6.  Fields: peer.
+TCP_FRAMING_ERROR = "tcp.endpoint.framing_error"
+
+# -- VIA transport ------------------------------------------------------
+#: A corrupted descriptor surfaced as a completion error.  Fields:
+#: peer, corruption.
+VIA_DESCRIPTOR_ERROR = "via.channel.descriptor_error"
+#: The per-channel application send queue overflowed; oldest message
+#: shed (send-descriptor exhaustion under backpressure).  Fields: peer.
+VIA_QUEUE_SHED = "via.channel.queue_shed"
+#: A VI died (hardware disconnect, peer close, ...).  Fields: peer, reason.
+VIA_CHANNEL_BROKEN = "via.channel.broken"
+
+# -- PRESS cache --------------------------------------------------------
+#: Fields: file.
+CACHE_HIT = "press.cache.hit"
+#: Fields: file.
+CACHE_MISS = "press.cache.miss"
+#: LRU or shed eviction.  Fields: file.
+CACHE_EVICT = "press.cache.evict"
+#: Pinning a page failed (the pin fault is biting).  Fields: bytes.
+CACHE_PIN_FAILURE = "press.cache.pin_failure"
+
+# -- membership ---------------------------------------------------------
+#: Fields: peer, reason.
+MEMBERSHIP_EXCLUDE = "press.membership.exclude"
+#: Fields: peer.
+MEMBERSHIP_INCLUDE = "press.membership.include"
+#: The joiner completed the rejoin protocol.  Fields: members.
+MEMBERSHIP_JOINED = "press.membership.joined"
+#: Join retries exhausted; singleton operation.  Fields: (none).
+MEMBERSHIP_JOIN_GAVE_UP = "press.membership.join_gave_up"
+#: The auto-remerge extension made this node yield.  Fields: (none).
+MEMBERSHIP_REMERGE = "press.membership.remerge"
+
+# -- faults -------------------------------------------------------------
+#: Mendosus fired a fault.  Fields: fault (the spec label), kind, target.
+FAULT_INJECTED = "fault.injector.injected"
+#: The fault's active period ended.  Fields: fault, kind, target.
+FAULT_CLEARED = "fault.injector.cleared"
+
+# -- machines / processes ----------------------------------------------
+#: Hard reboot began.  Fields: (none).
+NODE_CRASH = "osim.node.crash"
+#: The machine came back after ``reboot_time``.  Fields: (none).
+NODE_REBOOT = "osim.node.reboot"
+
+# -- timeline annotations ----------------------------------------------
+#: The unified timeline instant (fault-injected, reconfigured, fail-fast,
+#: rejoined, operator-reset, ...).  Published by
+#: :class:`~repro.sim.monitor.Annotations` so stage extraction and traces
+#: share one source of truth.  Fields: label, detail.
+ANNOTATION = "sim.annotation"
+
+#: Every event name the shipped components publish, with a one-line
+#: description (mirrored in OBSERVABILITY.md).
+TAXONOMY = {
+    NET_FRAME_DROP: "frame lost on the fabric",
+    TCP_RETRANSMIT: "TCP retransmission timeout fired",
+    TCP_ENDPOINT_BROKEN: "TCP connection died",
+    TCP_FRAMING_ERROR: "TCP byte-stream framing corruption",
+    VIA_DESCRIPTOR_ERROR: "VIA descriptor completion error",
+    VIA_QUEUE_SHED: "VIA per-channel send queue shed a message",
+    VIA_CHANNEL_BROKEN: "VIA connection died",
+    CACHE_HIT: "cache hit",
+    CACHE_MISS: "cache miss",
+    CACHE_EVICT: "cache eviction",
+    CACHE_PIN_FAILURE: "cache page pinning failed",
+    MEMBERSHIP_EXCLUDE: "peer excluded from the membership",
+    MEMBERSHIP_INCLUDE: "peer included in the membership",
+    MEMBERSHIP_JOINED: "rejoin protocol completed",
+    MEMBERSHIP_JOIN_GAVE_UP: "join retries exhausted",
+    MEMBERSHIP_REMERGE: "auto-remerge made this node yield",
+    FAULT_INJECTED: "fault injected",
+    FAULT_CLEARED: "fault active period ended",
+    NODE_CRASH: "machine hard reboot began",
+    NODE_REBOOT: "machine back up",
+    ANNOTATION: "named timeline instant",
+}
+
+
+def layer_of(name: str) -> str:
+    """The ``layer`` prefix of an event name (one trace track per layer)."""
+    return name.split(".", 1)[0]

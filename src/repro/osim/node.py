@@ -19,6 +19,8 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from ..net.nic import Nic
+from ..obs.events import NODE_CRASH, NODE_REBOOT
+from ..obs.metrics import bound_counter
 from ..sim.engine import Engine
 from ..sim.resources import Resource
 from .cpu import WorkQueue
@@ -60,7 +62,7 @@ class Node:
         self.reboot_time = reboot_time
         self.up = True
         self.frozen = False
-        self.crashes = 0
+        self._crashes = bound_counter(engine, "osim.node.crashes", node=node_id)
         self.on_reboot_complete: List[Callable[[], None]] = []
 
         # The process lifecycle drives the CPU queue: a dead process
@@ -78,16 +80,26 @@ class Node:
         if not self.up:
             return
         self.up = False
-        self.crashes += 1
+        self._crashes.inc()
+        bus = self.engine.bus
+        if bus is not None:
+            bus.publish(NODE_CRASH, node=self.node_id)
         self.nic.power_off()
         self.daemon.disable()
         self.process.exit("node-crash")
         if transient:
             self.engine.call_after(self.reboot_time, self._reboot)
 
+    @property
+    def crashes(self) -> int:
+        return self._crashes.value
+
     def _reboot(self) -> None:
         self.up = True
         self.frozen = False
+        bus = self.engine.bus
+        if bus is not None:
+            bus.publish(NODE_REBOOT, node=self.node_id)
         # Fresh kernel: memory faults do not survive a reboot.
         self.kernel_memory = KernelMemory()
         self.pinnable = PinnableMemory(physical_bytes=self.pinnable.physical_bytes)

@@ -18,31 +18,66 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Callable, List, Optional, Tuple
 
+from ..obs.events import CACHE_EVICT, CACHE_HIT, CACHE_MISS, CACHE_PIN_FAILURE
+from ..obs.metrics import bound_counter
 from ..osim.memory import PinnableMemory
 
 
 class FileCache:
-    """LRU whole-file cache with a byte budget and optional pinning."""
+    """LRU whole-file cache with a byte budget and optional pinning.
+
+    ``engine``/``node_id`` are optional observability hooks: with an
+    engine attached, the hit/miss/evict counters live in its metrics
+    registry and lookups/evictions publish ``press.cache.*`` events on
+    its bus.  A bare cache (tests, standalone use) behaves identically.
+    """
 
     def __init__(
         self,
         capacity_bytes: int,
         pinned: bool = False,
         pin_memory: Optional[PinnableMemory] = None,
+        engine=None,
+        node_id: str = "",
     ):
         if pinned and pin_memory is None:
             raise ValueError("a pinned cache needs a PinnableMemory")
         self.capacity_bytes = capacity_bytes
         self.pinned = pinned
         self.pin_memory = pin_memory
+        self._engine = engine
+        self._node_id = node_id
         self._entries: "OrderedDict[str, int]" = OrderedDict()
         self.used_bytes = 0
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.pin_failures = 0
+        self._hits = bound_counter(engine, "press.cache.hits", node=node_id)
+        self._misses = bound_counter(engine, "press.cache.misses", node=node_id)
+        self._evictions = bound_counter(engine, "press.cache.evictions", node=node_id)
+        self._pin_failures = bound_counter(
+            engine, "press.cache.pin_failures", node=node_id
+        )
         #: callbacks fired with ("add"|"evict", file_id) for broadcasts
         self.on_change: List[Callable[[str, str], None]] = []
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
+
+    @property
+    def pin_failures(self) -> int:
+        return self._pin_failures.value
+
+    def _publish(self, name: str, **fields) -> None:
+        bus = getattr(self._engine, "bus", None)
+        if bus is not None:
+            bus.publish(name, node=self._node_id, **fields)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -57,10 +92,12 @@ class FileCache:
         """Size of the cached file, or None on miss.  Refreshes LRU."""
         size = self._entries.get(file_id)
         if size is None:
-            self.misses += 1
+            self._misses.inc()
+            self._publish(CACHE_MISS, file=file_id)
             return None
         self._entries.move_to_end(file_id)
-        self.hits += 1
+        self._hits.inc()
+        self._publish(CACHE_HIT, file=file_id)
         return size
 
     def hit_ratio(self) -> float:
@@ -82,7 +119,8 @@ class FileCache:
             self._evict_lru()
         if self.pinned:
             while not self.pin_memory.pin(size):
-                self.pin_failures += 1
+                self._pin_failures.inc()
+                self._publish(CACHE_PIN_FAILURE, bytes=size)
                 if not self._entries:
                     return False  # nothing left to shed; serve unpinned
                 self._evict_lru()
@@ -94,7 +132,8 @@ class FileCache:
     def _evict_lru(self) -> None:
         file_id, size = self._entries.popitem(last=False)
         self.used_bytes -= size
-        self.evictions += 1
+        self._evictions.inc()
+        self._publish(CACHE_EVICT, file=file_id)
         if self.pinned:
             self.pin_memory.unpin(size)
         self._fire("evict", file_id)
@@ -104,7 +143,8 @@ class FileCache:
         if size is None:
             return False
         self.used_bytes -= size
-        self.evictions += 1
+        self._evictions.inc()
+        self._publish(CACHE_EVICT, file=file_id)
         if self.pinned:
             self.pin_memory.unpin(size)
         self._fire("evict", file_id)
@@ -144,7 +184,7 @@ class FileCache:
             if self.used_bytes + size > self.capacity_bytes:
                 break
             if self.pinned and not self.pin_memory.pin(size):
-                self.pin_failures += 1
+                self._pin_failures.inc()
                 break
             self._entries[file_id] = size
             self.used_bytes += size

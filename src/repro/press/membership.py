@@ -26,6 +26,14 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Set
 
+from ..obs.events import (
+    MEMBERSHIP_EXCLUDE,
+    MEMBERSHIP_INCLUDE,
+    MEMBERSHIP_JOINED,
+    MEMBERSHIP_JOIN_GAVE_UP,
+    MEMBERSHIP_REMERGE,
+)
+from ..obs.metrics import bound_counter
 from ..osim.process import SimProcess
 from ..sim.engine import Engine
 from ..transports.base import Message
@@ -85,8 +93,25 @@ class Membership:
         self._incarnation = 0
         self._joining = False
         self.joined_cluster = False
-        self.exclusions = 0
-        self.remerges = 0
+        self._exclusions = bound_counter(
+            engine, "press.membership.exclusions", node=self_id
+        )
+        self._remerges = bound_counter(
+            engine, "press.membership.remerges", node=self_id
+        )
+
+    @property
+    def exclusions(self) -> int:
+        return self._exclusions.value
+
+    @property
+    def remerges(self) -> int:
+        return self._remerges.value
+
+    def _publish(self, name: str, **fields) -> None:
+        bus = self.engine.bus
+        if bus is not None:
+            bus.publish(name, node=self.self_id, **fields)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -155,9 +180,10 @@ class Membership:
         if peer == self.self_id or peer not in self.members:
             return
         self.members.remove(peer)
-        self.exclusions += 1
+        self._exclusions.inc()
         self._last_heard.pop(peer, None)
         self._reset_heartbeat_baselines()
+        self._publish(MEMBERSHIP_EXCLUDE, peer=peer, reason=reason)
         self.annotate("reconfigured", f"{self.self_id} excluded {peer} ({reason})")
         self.on_exclude(peer, reason)
         if broadcast:
@@ -180,6 +206,7 @@ class Membership:
         if peer == self.self_id or peer in self.members:
             return
         self.members.append(peer)
+        self._publish(MEMBERSHIP_INCLUDE, peer=peer)
         self._reset_heartbeat_baselines()
         self.on_include(peer)
         if broadcast:
@@ -285,7 +312,8 @@ class Membership:
             len(mine) == len(theirs) and mine[0] > theirs[0]
         )
         if yields:
-            self.remerges += 1
+            self._remerges.inc()
+            self._publish(MEMBERSHIP_REMERGE)
             self.annotate("auto-remerge", f"{self.self_id} yields to merge")
             self.process.exit("auto-remerge")
 
@@ -297,6 +325,7 @@ class Membership:
             return
         if attempt >= self.join_max_retries:
             self._joining = False
+            self._publish(MEMBERSHIP_JOIN_GAVE_UP)
             self.annotate("join-gave-up", self.self_id)
             self.on_join_gave_up()
             return
@@ -336,6 +365,7 @@ class Membership:
             remaining["n"] -= 1
             if remaining["n"] == 0:
                 self.joined_cluster = True
+                self._publish(MEMBERSHIP_JOINED, members=sorted(self.members))
                 self.annotate("rejoined", self.self_id)
                 self.on_joined(list(self.members))
 

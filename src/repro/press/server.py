@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.metrics import bound_counter
 from ..osim.node import Node
 from ..sim.engine import Engine
 from ..sim.monitor import Annotations
@@ -70,12 +71,24 @@ class PressServer:
         self._batch_timer_armed = False
 
         # Counters (cumulative across incarnations).
-        self.requests_handled = 0
-        self.requests_forwarded = 0
-        self.remote_serves = 0
-        self.local_serves = 0
-        self.disk_reads = 0
-        self.fail_fasts = 0
+        self._requests_handled = bound_counter(
+            engine, "press.server.requests_handled", node=self.node_id
+        )
+        self._requests_forwarded = bound_counter(
+            engine, "press.server.requests_forwarded", node=self.node_id
+        )
+        self._remote_serves = bound_counter(
+            engine, "press.server.remote_serves", node=self.node_id
+        )
+        self._local_serves = bound_counter(
+            engine, "press.server.local_serves", node=self.node_id
+        )
+        self._disk_reads = bound_counter(
+            engine, "press.server.disk_reads", node=self.node_id
+        )
+        self._fail_fasts = bound_counter(
+            engine, "press.server.fail_fasts", node=self.node_id
+        )
 
         self.http = HttpPort(
             engine,
@@ -92,6 +105,30 @@ class PressServer:
         node.process.on_start.append(self._incarnate)
         node.process.on_death.append(self._cleanup)
 
+    @property
+    def requests_handled(self) -> int:
+        return self._requests_handled.value
+
+    @property
+    def requests_forwarded(self) -> int:
+        return self._requests_forwarded.value
+
+    @property
+    def remote_serves(self) -> int:
+        return self._remote_serves.value
+
+    @property
+    def local_serves(self) -> int:
+        return self._local_serves.value
+
+    @property
+    def disk_reads(self) -> int:
+        return self._disk_reads.value
+
+    @property
+    def fail_fasts(self) -> int:
+        return self._fail_fasts.value
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -101,6 +138,8 @@ class PressServer:
             cfg.cache_bytes,
             pinned=cfg.zero_copy,
             pin_memory=self.node.pinnable,
+            engine=self.engine,
+            node_id=self.node_id,
         )
         self.cache.on_change.append(self._on_cache_change)
         self.directory = {}
@@ -151,7 +190,7 @@ class PressServer:
         """Main-loop work item: dispatch a parsed client request."""
         if self.cache is None or self.membership is None:
             return
-        self.requests_handled += 1
+        self._requests_handled.inc()
         file_id = req.file_id
         owner = self.directory.get(file_id)
         if (
@@ -167,11 +206,11 @@ class PressServer:
     def _serve_locally(self, req: HttpRequest) -> None:
         size = self.cache.lookup(req.file_id)
         if size is not None:
-            self.local_serves += 1
+            self._local_serves.inc()
             self._respond(req, size)
             return
         size = self.fileset.size(req.file_id)
-        self.disk_reads += 1
+        self._disk_reads.inc()
         self.node.disk_read(size, lambda: self._disk_done(req, size))
 
     def _disk_done(self, req: HttpRequest, size: int) -> None:
@@ -184,7 +223,7 @@ class PressServer:
         if self.cache is None:
             return
         self.cache.insert(req.file_id, size)
-        self.local_serves += 1
+        self._local_serves.inc()
         self._respond(req, size)
 
     def _respond(self, req: HttpRequest, size: int) -> None:
@@ -199,7 +238,7 @@ class PressServer:
         if channel is None or channel.broken:
             self._serve_locally(req)
             return
-        self.requests_forwarded += 1
+        self._requests_forwarded.inc()
         self.pending_forwards[req.req_id] = (req, owner)
         msg = Message(
             "fwd-req",
@@ -236,11 +275,11 @@ class PressServer:
         req_id, file_id, origin_id = msg.payload
         size = self.cache.lookup(file_id)
         if size is not None:
-            self.remote_serves += 1
+            self._remote_serves.inc()
             self._send_file_data(origin_id, req_id, file_id, size)
             return
         size = self.fileset.size(file_id)
-        self.disk_reads += 1
+        self._disk_reads.inc()
         self.node.disk_read(
             size,
             lambda: self.node.cpu.submit(
@@ -255,7 +294,7 @@ class PressServer:
         if self.cache is None:
             return
         self.cache.insert(file_id, size)
-        self.remote_serves += 1
+        self._remote_serves.inc()
         self._send_file_data(origin_id, req_id, file_id, size)
 
     def _send_file_data(
@@ -370,7 +409,7 @@ class PressServer:
 
     def _on_fatal(self, reason: str) -> None:
         """PRESS's fail-fast policy: fatal comm errors kill the process."""
-        self.fail_fasts += 1
+        self._fail_fasts.inc()
         self.annotations.mark("fail-fast", f"{self.node_id} ({reason})")
         self.node.process.exit(f"fail-fast:{reason}")
 

@@ -137,6 +137,11 @@ class Engine:
         self._seq: int = 0
         self._running = False
         self._events_processed: int = 0
+        # Observability attach points (see repro.obs).  Components guard
+        # hot paths with ``if engine.bus is not None`` so an unobserved
+        # run pays one attribute load per would-be event.
+        self.bus: Optional[Any] = None
+        self.metrics: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Scheduling

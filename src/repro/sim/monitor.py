@@ -14,6 +14,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.events import ANNOTATION
+from ..obs.metrics import bound_counter
 from .engine import Engine
 
 
@@ -27,14 +29,38 @@ class Annotation:
 
 
 class Annotations:
-    """Ordered log of named instants (fault injected, detected, ...)."""
+    """Ordered log of named instants (fault injected, detected, ...).
 
-    def __init__(self, engine: Engine):
+    When constructed with an event bus, every ``mark`` is routed through
+    the bus as a ``sim.annotation`` event and the log repopulates itself
+    from the delivery — so stage extraction and exported traces read the
+    same timeline, and any other subscriber (a trace recorder, a live
+    printer) sees annotations interleaved with the rest of the event
+    stream in engine order.  Without a bus the log appends directly; the
+    public API is identical either way.
+    """
+
+    def __init__(self, engine: Engine, bus=None):
         self.engine = engine
         self.entries: List[Annotation] = []
+        self.bus = bus
+        if bus is not None:
+            bus.subscribe(self._on_event, names=[ANNOTATION])
 
     def mark(self, label: str, detail: str = "") -> None:
-        self.entries.append(Annotation(self.engine.now, label, detail))
+        if self.bus is not None:
+            self.bus.publish(ANNOTATION, label=label, detail=detail)
+        else:
+            self.entries.append(Annotation(self.engine.now, label, detail))
+
+    def _on_event(self, event) -> None:
+        self.entries.append(
+            Annotation(
+                event.time,
+                event.fields.get("label", ""),
+                event.fields.get("detail", ""),
+            )
+        )
 
     def first(self, label: str) -> Optional[Annotation]:
         for entry in self.entries:
@@ -77,8 +103,16 @@ class ThroughputMonitor:
         self.bucket_width = bucket_width
         self._ok: Dict[int, int] = {}
         self._failed: Dict[int, int] = {}
-        self.total_ok = 0
-        self.total_failed = 0
+        self._total_ok = bound_counter(engine, "sim.monitor.requests_ok")
+        self._total_failed = bound_counter(engine, "sim.monitor.requests_failed")
+
+    @property
+    def total_ok(self) -> int:
+        return self._total_ok.value
+
+    @property
+    def total_failed(self) -> int:
+        return self._total_failed.value
 
     def _bucket(self) -> int:
         return int(self.engine.now / self.bucket_width)
@@ -86,12 +120,12 @@ class ThroughputMonitor:
     def success(self, n: int = 1) -> None:
         b = self._bucket()
         self._ok[b] = self._ok.get(b, 0) + n
-        self.total_ok += n
+        self._total_ok.inc(n)
 
     def failure(self, n: int = 1) -> None:
         b = self._bucket()
         self._failed[b] = self._failed.get(b, 0) + n
-        self.total_failed += n
+        self._total_failed.inc(n)
 
     @property
     def total(self) -> int:

@@ -25,6 +25,8 @@ from dataclasses import dataclass, field
 from typing import Deque, List, Optional
 
 from ...net.packet import Frame
+from ...obs.events import TCP_RETRANSMIT
+from ...obs.metrics import bound_counter
 from ...sim.engine import Engine, Event, Timer
 from ..base import (
     Channel,
@@ -117,13 +119,19 @@ class TcpEndpoint(Channel):
         self._rto = params.rto_initial
         self._stalled_since: Optional[float] = None
         self._alloc_retry: Optional[Timer] = None
-        self.retransmissions = 0
+        self._retransmissions = bound_counter(
+            self.engine, "transport.tcp.retransmissions", node=self.local, peer=peer
+        )
 
         # -- receive state ----------------------------------------------------
         self.expected_seq = 0
         self.rcvbuf_used = 0
         self.rx_skew = 0
         self.frozen_records: Deque[StreamRecord] = deque()
+
+    @property
+    def retransmissions(self) -> int:
+        return self._retransmissions.value
 
     # ------------------------------------------------------------------
     # Application send path
@@ -263,7 +271,12 @@ class TcpEndpoint(Channel):
             return
         # Go-back-N: everything past the cumulative ACK was (potentially)
         # lost; rewind and resend with a doubled timeout.
-        self.retransmissions += 1
+        self._retransmissions.inc()
+        bus = self.engine.bus
+        if bus is not None:
+            bus.publish(
+                TCP_RETRANSMIT, node=self.local, peer=self.peer, rto=self._rto
+            )
         self.sent_seq = self.acked_seq
         self._rto = min(self._rto * 2, self.params.rto_max)
         self._pump()
@@ -313,7 +326,7 @@ class TcpEndpoint(Channel):
                 record.skew != 0
                 or msg.corruption is CorruptionKind.OFF_BY_N_POINTER
             ):
-                self.transport.framing_errors += 1
+                self.transport._record_framing_error(self)
                 self.consume(record)
                 return
             self.transport._deliver_record(self, record)

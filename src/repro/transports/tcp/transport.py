@@ -21,6 +21,8 @@ from typing import Callable, Dict, Optional
 
 from ...net.nic import Nic
 from ...net.packet import Frame
+from ...obs.events import TCP_ENDPOINT_BROKEN, TCP_FRAMING_ERROR
+from ...obs.metrics import bound_counter
 from ...osim.node import Node
 from ...sim.engine import Engine
 from ..base import Message, Transport
@@ -61,7 +63,9 @@ class TcpTransport(Transport):
         self.endpoints: Dict[str, TcpEndpoint] = {}
         self.on_accept: Optional[Callable[[str], None]] = None
         self.on_datagram: Optional[Callable[[str, Message], None]] = None
-        self.framing_errors = 0
+        self._framing_errors = bound_counter(
+            engine, "transport.tcp.framing_errors", node=node.node_id
+        )
 
         for kind in (
             "tcp-seg",
@@ -75,6 +79,16 @@ class TcpTransport(Transport):
             self.nic.register(kind, self._on_frame)
         node.process.on_death.append(self._on_process_death)
         node.process.on_cont.append(self._on_process_cont)
+
+    @property
+    def framing_errors(self) -> int:
+        return self._framing_errors.value
+
+    def _record_framing_error(self, ep: TcpEndpoint) -> None:
+        self._framing_errors.inc()
+        bus = self.engine.bus
+        if bus is not None:
+            bus.publish(TCP_FRAMING_ERROR, node=self.node_id, peer=ep.peer)
 
     # ------------------------------------------------------------------
     # Kernel memory access (re-read per call: a reboot replaces the object)
@@ -296,6 +310,15 @@ class TcpTransport(Transport):
             del self.endpoints[ep.peer]
         already_broken = ep.broken
         ep.mark_broken(reason)
+        if not already_broken:
+            bus = self.engine.bus
+            if bus is not None:
+                bus.publish(
+                    TCP_ENDPOINT_BROKEN,
+                    node=self.node_id,
+                    peer=ep.peer,
+                    reason=reason,
+                )
         if notify and not already_broken:
             self.node.cpu.submit(
                 _NOTIFY_COST, lambda: self._break_up(ep.peer, reason)
@@ -331,7 +354,7 @@ class TcpTransport(Transport):
 
     def _framing_violation(self, ep: TcpEndpoint, record: StreamRecord) -> None:
         """Garbage framing header: the byte stream is unrecoverable."""
-        self.framing_errors += 1
+        self._record_framing_error(ep)
         ep.consume(record)
         self.node.cpu.submit(
             _NOTIFY_COST,

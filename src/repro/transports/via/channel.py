@@ -20,6 +20,8 @@ from collections import deque
 from typing import Deque, List, Optional
 
 from ...net.packet import Frame
+from ...obs.events import VIA_QUEUE_SHED
+from ...obs.metrics import bound_counter
 from ...sim.engine import Event, Timer
 from ..base import (
     Channel,
@@ -47,9 +49,27 @@ class ViaChannel(Channel):
         self._credit_flush_timer: Optional[Timer] = None
         self.frozen_backlog: Deque[Message] = deque()
         self.pinned_bytes = 0  # registered at setup by the transport
-        self.messages_sent = 0
-        self.messages_received = 0
-        self.messages_shed = 0
+        self._messages_sent = bound_counter(
+            self.engine, "transport.via.messages_sent", node=self.local, peer=peer
+        )
+        self._messages_received = bound_counter(
+            self.engine, "transport.via.messages_received", node=self.local, peer=peer
+        )
+        self._messages_shed = bound_counter(
+            self.engine, "transport.via.messages_shed", node=self.local, peer=peer
+        )
+
+    @property
+    def messages_sent(self) -> int:
+        return self._messages_sent.value
+
+    @property
+    def messages_received(self) -> int:
+        return self._messages_received.value
+
+    @property
+    def messages_shed(self) -> int:
+        return self._messages_shed.value
 
     # ------------------------------------------------------------------
     # Send path (VipPostSend)
@@ -82,7 +102,10 @@ class ViaChannel(Channel):
         self.backlog.append(msg)
         while len(self.backlog) > self.params.app_queue_limit:
             self.backlog.popleft()
-            self.messages_shed += 1
+            self._messages_shed.inc()
+            bus = self.engine.bus
+            if bus is not None:
+                bus.publish(VIA_QUEUE_SHED, node=self.local, peer=self.peer)
         self._drain()
         return SendResult(SendStatus.SENT)
 
@@ -100,7 +123,7 @@ class ViaChannel(Channel):
                 return
             msg = self.backlog.popleft()
             self.credits -= 1
-            self.messages_sent += 1
+            self._messages_sent.inc()
             frame = Frame(
                 src=self.local,
                 dst=self.peer,
@@ -130,7 +153,7 @@ class ViaChannel(Channel):
         the message sits in the buffer and the credit is withheld, which
         is how a hung peer eventually blocks its senders.
         """
-        self.messages_received += 1
+        self._messages_received.inc()
         if self.transport.node.process.running:
             self._credit_and_deliver(msg)
         else:

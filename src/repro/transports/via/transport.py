@@ -22,6 +22,8 @@ from typing import Callable, Dict, Optional
 
 from ...net.nic import Nic
 from ...net.packet import Frame
+from ...obs.events import VIA_CHANNEL_BROKEN, VIA_DESCRIPTOR_ERROR
+from ...obs.metrics import bound_counter
 from ...osim.node import Node
 from ...sim.engine import Engine
 from ..base import (
@@ -72,7 +74,9 @@ class ViaTransport(Transport):
         self.channels: Dict[str, ViaChannel] = {}
         self.on_accept: Optional[Callable[[str], None]] = None
         self.on_datagram: Optional[Callable[[str, Message], None]] = None
-        self.descriptor_errors = 0
+        self._descriptor_errors = bound_counter(
+            engine, "transport.via.descriptor_errors", node=node.node_id
+        )
 
         for kind in (
             "via-msg",
@@ -89,6 +93,10 @@ class ViaTransport(Transport):
         self.nic.on_error(self._on_nic_error)
         node.process.on_death.append(self._on_process_death)
         node.process.on_cont.append(self._on_process_cont)
+
+    @property
+    def descriptor_errors(self) -> int:
+        return self._descriptor_errors.value
 
     # ------------------------------------------------------------------
     # CPU / resource plumbing
@@ -394,8 +402,16 @@ class ViaTransport(Transport):
         for a bad *pointer* (the transfer lands wrong).  Remote-write
         channels: the error is reported on **both** nodes involved.
         """
-        self.descriptor_errors += 1
+        self._descriptor_errors.inc()
         kind = msg.corruption
+        bus = self.engine.bus
+        if bus is not None:
+            bus.publish(
+                VIA_DESCRIPTOR_ERROR,
+                node=self.node_id,
+                peer=channel.peer,
+                corruption=kind.value,
+            )
         error_at_sender = self.remote_writes or kind in (
             CorruptionKind.NULL_POINTER,
             CorruptionKind.OFF_BY_N_SIZE,
@@ -439,6 +455,15 @@ class ViaTransport(Transport):
         self._unpin(channel)
         already = channel.broken
         channel.mark_broken(reason)
+        if not already:
+            bus = self.engine.bus
+            if bus is not None:
+                bus.publish(
+                    VIA_CHANNEL_BROKEN,
+                    node=self.node_id,
+                    peer=channel.peer,
+                    reason=reason,
+                )
         if notify and not already:
             self.node.cpu.submit(
                 _NOTIFY_COST, lambda: self._break_up(channel.peer, reason)

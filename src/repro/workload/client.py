@@ -18,6 +18,7 @@ from typing import Dict, List, Optional
 from ..net.fabric import Fabric
 from ..net.nic import Nic
 from ..net.packet import Frame
+from ..obs.metrics import Histogram
 from ..sim.engine import Engine, Timer
 from ..sim.monitor import ThroughputMonitor
 from .trace import FileSet
@@ -55,11 +56,21 @@ class ClientMachine:
         self.nic: Nic = fabric.attach(client_id, reports_errors=False)
         self.nic.register("http-resp", self._on_response)
         self.nic.register("http-reject", self._on_reject)
-        self._pending: Dict[int, Timer] = {}
+        self._pending: Dict[int, "tuple[Timer, float]"] = {}
         self._rr = 0
         self._running = False
-        self.latencies_sum = 0.0
+        registry = getattr(engine, "metrics", None)
+        if registry is not None:
+            self.latency = registry.histogram(
+                "workload.client.latency", client=client_id
+            )
+        else:
+            self.latency = Histogram("workload.client.latency", client=client_id)
         self.completed = 0
+
+    @property
+    def latencies_sum(self) -> float:
+        return self.latency.sum
 
     # ------------------------------------------------------------------
     # Arrival process
@@ -94,7 +105,7 @@ class ClientMachine:
         timer = self.engine.call_after(
             self.request_timeout, self._on_timeout, req.req_id
         )
-        self._pending[req.req_id] = timer
+        self._pending[req.req_id] = (timer, self.engine.now)
         self.nic.send(
             Frame(
                 src=self.client_id,
@@ -110,19 +121,21 @@ class ClientMachine:
     # ------------------------------------------------------------------
     def _on_response(self, frame: Frame) -> None:
         req_id: int = frame.payload
-        timer = self._pending.pop(req_id, None)
-        if timer is None:
+        entry = self._pending.pop(req_id, None)
+        if entry is None:
             return  # already timed out; the late response is wasted work
+        timer, issued_at = entry
         timer.cancel()
+        self.latency.observe(self.engine.now - issued_at)
         self.monitor.success()
         self.completed += 1
 
     def _on_reject(self, frame: Frame) -> None:
         req_id: int = frame.payload
-        timer = self._pending.pop(req_id, None)
-        if timer is None:
+        entry = self._pending.pop(req_id, None)
+        if entry is None:
             return
-        timer.cancel()
+        entry[0].cancel()
         self.monitor.failure()
 
     def _on_timeout(self, req_id: int) -> None:

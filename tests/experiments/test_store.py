@@ -149,3 +149,44 @@ class TestOpenStore:
     def test_path_gives_disk(self, tmp_path):
         store = open_store(tmp_path / "cache")
         assert isinstance(store, DiskStore)
+
+
+class TestSchemaNotices:
+    """A schema bump re-runs cells; drain_notices makes that visible."""
+
+    def test_miss_over_stale_schema_is_reported(self, tmp_path):
+        store = DiskStore(tmp_path)
+        old_key = dataclasses.replace(KEY, schema=1)
+        store.put(old_key, PAYLOAD)
+        assert store.get(KEY) is None  # current schema misses...
+        notices = store.drain_notices()
+        assert notices == [
+            f"cache invalidated (schema v1→v{SCHEMA_VERSION}): "
+            "1 cell(s) re-run"
+        ]
+
+    def test_drain_resets(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put(dataclasses.replace(KEY, schema=1), PAYLOAD)
+        store.get(KEY)
+        assert store.drain_notices()
+        assert store.drain_notices() == []
+
+    def test_cold_miss_is_not_a_schema_notice(self, tmp_path):
+        store = DiskStore(tmp_path)
+        assert store.get(KEY) is None
+        assert store.drain_notices() == []
+
+    def test_multiple_stale_cells_are_counted(self, tmp_path):
+        store = DiskStore(tmp_path)
+        for seed in (1, 2, 3):
+            store.put(
+                dataclasses.replace(KEY, schema=1, seed=seed), PAYLOAD
+            )
+        for seed in (1, 2, 3):
+            store.get(dataclasses.replace(KEY, seed=seed))
+        (notice,) = store.drain_notices()
+        assert "3 cell(s) re-run" in notice
+
+    def test_memory_store_has_no_notices(self):
+        assert MemoryStore().drain_notices() == []

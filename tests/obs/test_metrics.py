@@ -1,0 +1,97 @@
+"""MetricsRegistry: get-or-create identity, rendering, summaries, and the
+bound_counter bridge components use."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    bound_counter,
+)
+from repro.sim.engine import Engine
+
+
+def test_counter_get_or_create_is_identity_per_name_and_labels():
+    reg = MetricsRegistry()
+    a = reg.counter("press.cache.hits", node="n0")
+    b = reg.counter("press.cache.hits", node="n0")
+    c = reg.counter("press.cache.hits", node="n1")
+    assert a is b
+    assert a is not c
+    a.inc(3)
+    assert reg.counter("press.cache.hits", node="n0").value == 3
+
+
+def test_label_order_does_not_matter():
+    reg = MetricsRegistry()
+    a = reg.counter("m", node="n0", peer="n1")
+    b = reg.counter("m", peer="n1", node="n0")
+    assert a is b
+
+
+def test_summary_renders_labels_and_omits_zeros():
+    reg = MetricsRegistry()
+    reg.counter("net.nic.frames_sent", node="n0").inc(5)
+    reg.counter("net.nic.frames_sent", node="n1")  # stays zero
+    reg.gauge("press.membership.members").set(4)
+    reg.histogram("workload.client.latency", client="c0").observe(0.02)
+    s = reg.summary()
+    assert s["counters"] == {"net.nic.frames_sent{node=n0}": 5}
+    assert s["gauges"] == {"press.membership.members": 4}
+    assert list(s["histograms"]) == ["workload.client.latency{client=c0}"]
+    full = reg.summary(include_zero=True)
+    assert "net.nic.frames_sent{node=n1}" in full["counters"]
+
+
+def test_gauge_moves_both_ways():
+    g = Gauge("depth")
+    g.inc()
+    g.inc(2)
+    g.dec()
+    assert g.value == 2
+    g.set(9.5)
+    assert g.value == 9.5
+
+
+def test_histogram_buckets_and_stats():
+    h = Histogram("lat", bounds=(0.01, 0.1, 1.0))
+    for v in (0.005, 0.05, 0.5, 5.0):
+        h.observe(v)
+    assert h.count == 4
+    assert h.buckets == [1, 1, 1, 1]  # one overflow
+    assert h.sum == pytest.approx(5.555)
+    assert h.mean == pytest.approx(5.555 / 4)
+    assert h.min == 0.005 and h.max == 5.0
+    d = h.to_dict()
+    assert d["count"] == 4 and d["buckets"] == [1, 1, 1, 1]
+
+
+def test_bound_counter_uses_engine_registry_when_attached():
+    engine = Engine()
+    engine.metrics = MetricsRegistry()
+    c = bound_counter(engine, "osim.node.crashes", node="n0")
+    c.inc()
+    assert engine.metrics.counter("osim.node.crashes", node="n0").value == 1
+
+
+def test_bound_counter_stands_alone_without_registry():
+    engine = Engine()  # engine.metrics is None by default
+    c = bound_counter(engine, "osim.node.crashes", node="n0")
+    c.inc(2)
+    assert isinstance(c, Counter)
+    assert c.value == 2
+
+
+def test_bound_counter_tolerates_no_engine():
+    c = bound_counter(None, "standalone.count")
+    c.inc()
+    assert c.value == 1
+
+
+def test_counter_supports_index_protocol():
+    c = Counter("n")
+    c.inc(7)
+    assert int(c) == 7
+    assert list(range(10))[c] == 7

@@ -1,0 +1,29 @@
+"""OBSERVABILITY.md's taxonomy table must mirror events.TAXONOMY."""
+
+import re
+from pathlib import Path
+
+from repro.obs.events import TAXONOMY, layer_of
+
+DOC = Path(__file__).parent.parent.parent / "OBSERVABILITY.md"
+
+
+def _documented_events():
+    rows = re.findall(r"^\| `([a-z_.]+)` \| (.+) \|$", DOC.read_text(), re.M)
+    return {name: desc for name, desc in rows}
+
+
+def test_every_published_event_is_documented():
+    documented = _documented_events()
+    assert set(documented) == set(TAXONOMY)
+    for name, desc in TAXONOMY.items():
+        assert documented[name] == desc, name
+
+
+def test_taxonomy_names_follow_layer_component_detail():
+    # ``sim.annotation`` is the one two-part name: the annotation *is*
+    # the component.
+    for name in TAXONOMY:
+        parts = name.split(".")
+        assert len(parts) in (2, 3), name
+        assert layer_of(name) == parts[0]
