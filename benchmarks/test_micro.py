@@ -3,7 +3,13 @@
 Unlike the figure benches these are true hot-loop measurements: they keep
 the reproduction honest about its own performance (the full campaign runs
 hundreds of simulated minutes, so engine overhead matters).
+
+The CI gate (``benchmarks/bench_gate.py``) runs this file and compares
+each bench against the committed ``BENCH_micro.json`` baseline; see
+PERFORMANCE.md for how the baseline was measured and how to update it.
 """
+
+import dataclasses
 
 import pytest
 
@@ -12,11 +18,52 @@ from repro.osim.node import Node
 from repro.sim.engine import Engine
 from repro.transports.base import Message
 from repro.transports.tcp import TcpTransport
+from repro.transports.tcp.params import DEFAULT_TCP_PARAMS
 from repro.transports.via import ViaTransport
+
+#: The paper's testbed MTU: every TCP message is segmented into MSS-sized
+#: frames, so the campaign-representative TCP shape uses a 1460-byte MSS
+#: rather than the page-sized default segments.
+MSS_1460_PARAMS = dataclasses.replace(DEFAULT_TCP_PARAMS, segment_size=1460)
+
+
+def test_engine_event_stream(benchmark):
+    """The campaign's dominant engine pattern: deliver, cancel, re-arm.
+
+    Every delivered TCP segment cancels a pending retransmission timer
+    and arms a fresh one ~0.2 s out, so the heap serves a stream of
+    near-term events threaded through a band of long-lived timers that
+    almost never fire.  This is the shape the timer freelist, the
+    head-slot, and incremental tombstone compaction target.
+    """
+
+    def run_stream():
+        e = Engine()
+        count = [0]
+        pending = [None]
+
+        def on_rto():
+            pending[0] = None
+
+        def deliver():
+            count[0] += 1
+            timer = pending[0]
+            if timer is not None:
+                timer.cancel()
+                pending[0] = None
+            if count[0] < 10_000:
+                pending[0] = e.call_after(0.2, on_rto)
+                e.call_after(65e-6, deliver)
+
+        e.call_after(65e-6, deliver)
+        e.run()
+        return count[0]
+
+    assert benchmark(run_stream) == 10_000
 
 
 def test_engine_event_throughput(benchmark):
-    """Schedule+dispatch cost of a bare engine event."""
+    """Schedule+dispatch cost of a bare chained engine event."""
 
     def run_10k():
         e = Engine()
@@ -48,9 +95,7 @@ def test_engine_heap_churn(benchmark):
     assert benchmark(run_churn) == 2500
 
 
-def _transport_pair(transport_cls):
-    import dataclasses
-
+def _transport_pair(transport_cls, params=None):
     from repro.transports.via.params import DEFAULT_VIA_PARAMS
 
     e = Engine()
@@ -64,6 +109,8 @@ def _transport_pair(transport_cls):
         kwargs["params"] = dataclasses.replace(
             DEFAULT_VIA_PARAMS, app_queue_limit=10_000
         )
+    if params is not None:
+        kwargs["params"] = params
     for name in ("a", "b"):
         node = Node(e, name, fabric.attach(name))
         node.process.start()
@@ -78,6 +125,26 @@ def _transport_pair(transport_cls):
     e.run(until=5.0)
     assert ok == [True]
     return e, ch, received
+
+
+def test_tcp_roundtrip_stream(benchmark):
+    """Campaign-shaped TCP round trip: 8 KB messages over MSS-1460 frames.
+
+    Each message is segmented into ~6 MSS-sized frames, every frame earns
+    a cumulative ACK, and the window keeps dozens of frames in flight —
+    the shape of the intra-cluster PRESS traffic the fast path was built
+    for (one delivery event per frame instead of three hops plus three
+    closures).
+    """
+
+    def run_msgs():
+        e, ch, received = _transport_pair(TcpTransport, params=MSS_1460_PARAMS)
+        for _ in range(500):
+            ch.send(Message("m", 8192))
+        e.run(until=100.0)
+        return received[0]
+
+    assert benchmark(run_msgs) == 500
 
 
 def test_tcp_message_throughput(benchmark):

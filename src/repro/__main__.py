@@ -32,6 +32,7 @@ def _settings(args: argparse.Namespace) -> Phase1Settings:
         scale=ExperimentScale(cpu_factor=args.scale),
         seed=args.seed,
         replications=args.replications,
+        fastpath=not args.no_fastpath,
     )
 
 
@@ -200,6 +201,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--clear-cache", action="store_true",
         help="drop every cached campaign cell in --cache-dir, then run",
+    )
+    parser.add_argument(
+        "--no-fastpath", action="store_true",
+        help="reference mode: schedule every per-hop network event "
+        "explicitly instead of the coalesced fast path (bit-identical "
+        "results, several times slower; see PERFORMANCE.md)",
     )
     parser.add_argument(
         "--trace-dir", default=None,

@@ -33,6 +33,7 @@ def build_cluster(config: PressConfig, settings: Phase1Settings) -> PressCluster
         utilization=settings.utilization,
         restart_delay=settings.restart_delay,
         reboot_time=settings.reboot_time,
+        fastpath=settings.fastpath,
     )
 
 

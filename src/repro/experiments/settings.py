@@ -42,6 +42,11 @@ class Phase1Settings:
     # long enough for every stage to be observed).
     restart_delay: float = 5.0
     reboot_time: float = 60.0
+    # Event-reduction fast path in the network fabric.  Results are
+    # bit-identical either way (enforced by the equivalence tests);
+    # ``False`` is the reference mode (`--no-fastpath`) that schedules
+    # every per-hop event explicitly.
+    fastpath: bool = True
 
     def cache_key(self) -> tuple:
         return (
@@ -57,6 +62,10 @@ class Phase1Settings:
             self.environment,
             self.restart_delay,
             self.reboot_time,
+            # Results are mode-independent by construction, but a
+            # `--no-fastpath` verification run must actually *run*, not
+            # hit a cache entry produced by the mode it is checking.
+            self.fastpath,
         )
 
 

@@ -59,6 +59,8 @@ class Link:
         self.loss_fn = loss_fn
         self._down_filter: Optional[Callable[[str], bool]] = None
         self._busy_until = {"a2b": 0.0, "b2a": 0.0}
+        self._fabric = None  # set by Fabric.attach
+        self._resv: list = []  # fast-path b2a reservations (see Fabric)
         self._frames_carried = bound_counter(
             engine, "net.link.frames_carried", link=name
         )
@@ -86,6 +88,7 @@ class Link:
 
     def fail(self) -> None:
         """Fail-stop: the link carries nothing until :meth:`repair`."""
+        self._notify_fabric()
         self._down_filter = lambda kind: True
 
     def fail_for(self, predicate: Callable[[str], bool]) -> None:
@@ -94,10 +97,19 @@ class Link:
         Used with :func:`intra_cluster_kind` to emulate Mendosus's
         traffic-class-scoped network faults.
         """
+        self._notify_fabric()
         self._down_filter = predicate
 
     def repair(self) -> None:
+        self._notify_fabric()
         self._down_filter = None
+
+    def _notify_fabric(self) -> None:
+        # Fail-stop transitions must be visible to frames already in
+        # flight on the fast path: the fabric re-expands them into
+        # per-hop events before the state changes.
+        if self._fabric is not None:
+            self._fabric._fastpath_transition()
 
     def carries(self, kind: str) -> bool:
         return self._down_filter is None or not self._down_filter(kind)

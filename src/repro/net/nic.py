@@ -85,9 +85,13 @@ class Nic:
     # -- power / fault control ----------------------------------------------
     def power_off(self) -> None:
         """Node crash: the NIC stops sending and receiving."""
+        if self._fabric is not None:
+            self._fabric._fastpath_transition()
         self.powered = False
 
     def power_on(self) -> None:
+        if self._fabric is not None:
+            self._fabric._fastpath_transition()
         self.powered = True
 
     # -- data path ---------------------------------------------------------
@@ -105,8 +109,34 @@ class Nic:
             raise RuntimeError(f"NIC {self.node_id} not attached to a fabric")
         accepted = self._fabric.transmit(self, frame)
         if accepted:
-            self._frames_sent.inc()
+            self._frames_sent.value += 1
         return accepted
+
+    def fast_path_clear(self, dst: str) -> bool:
+        """True when frames to ``dst`` would take the fabric fast path now
+        (so a pre-collected train is safe; see :meth:`send_train`)."""
+        fabric = self._fabric
+        return (
+            self.powered
+            and fabric is not None
+            and fabric.fast_eligible(self.node_id, dst)
+        )
+
+    def send_train(self, frames: list) -> bool:
+        """Submit a burst of same-destination frames in one fabric call.
+
+        Semantically identical to calling :meth:`send` per frame; on a
+        clean path the fabric checks eligibility once and serializes the
+        train in closed form (see :meth:`Fabric.transmit_train`).
+        """
+        if not self.powered:
+            return False
+        if self._fabric is None:
+            raise RuntimeError(f"NIC {self.node_id} not attached to a fabric")
+        accepted = self._fabric.transmit_train(self, frames)
+        if accepted:
+            self._frames_sent.value += accepted
+        return accepted == len(frames)
 
     def deliver(self, frame: Frame) -> None:
         """Called by the fabric when a frame arrives."""
@@ -117,7 +147,7 @@ class Nic:
         if handler is None:
             self._frames_dropped_rx.inc()
             return
-        self._frames_received.inc()
+        self._frames_received.value += 1
         handler(frame)
 
     def report_error(self, reason: str) -> None:

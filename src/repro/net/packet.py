@@ -8,14 +8,11 @@ write per message.
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
-_frame_ids = itertools.count(1)
 
-
-@dataclass
+@dataclass(slots=True)
 class Frame:
     """One unit on the wire.
 
@@ -26,7 +23,10 @@ class Frame:
         kind: coarse class used by instrumentation and fault filters
             (``"tcp"``, ``"via"``, ``"rdma"``, ``"client"``...).
         payload: opaque object handed to the receiver's NIC handler.
-        frame_id: unique id, useful in traces and tests.
+        frame_id: unique id, useful in traces and tests.  Assigned by
+            the fabric at submit time from a per-fabric counter, so two
+            runs in one process produce identical ids (a process-global
+            counter would make trace diffs depend on run order).
     """
 
     src: str
@@ -34,7 +34,7 @@ class Frame:
     size: int
     kind: str
     payload: Any = None
-    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+    frame_id: int = 0
 
     def __post_init__(self) -> None:
         if self.size < 0:

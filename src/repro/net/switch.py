@@ -42,12 +42,17 @@ class Switch:
         self._inflight: Dict[str, int] = {}
         self.frames_forwarded = 0
         self.frames_dropped = 0
+        self._fabric = None  # set by Fabric
 
     # -- fault control ---------------------------------------------------
     def fail(self) -> None:
+        if self._fabric is not None:
+            self._fabric._fastpath_transition()
         self.up = False
 
     def repair(self) -> None:
+        if self._fabric is not None:
+            self._fabric._fastpath_transition()
         self.up = True
 
     # -- data path ---------------------------------------------------------

@@ -155,6 +155,7 @@ class PressCluster:
         reboot_time: float = 60.0,
         tcp_params=None,
         via_params=None,
+        fastpath: bool = True,
     ):
         self.config_base = config
         self.scale = scale
@@ -168,7 +169,7 @@ class PressCluster:
         self.engine.bus = self.bus
         self.engine.metrics = self.metrics
         self.rng = RngRegistry(seed)
-        self.fabric = Fabric(self.engine)
+        self.fabric = Fabric(self.engine, fastpath=fastpath)
         self.fileset = fileset if fileset is not None else scale.fileset()
         self.annotations = Annotations(self.engine, bus=self.bus)
         self.monitor = ThroughputMonitor(self.engine, bucket_width=bucket_width)

@@ -64,7 +64,7 @@ class CorruptionKind(enum.Enum):
     OFF_BY_N_SIZE = "off-by-n-size"
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """An application-level message between cluster nodes."""
 
@@ -87,7 +87,7 @@ class SendStatus(enum.Enum):
     BROKEN = "broken"  # channel already broken; message dropped
 
 
-@dataclass
+@dataclass(slots=True)
 class SendResult:
     status: SendStatus
     error: Optional[CommError] = None

@@ -46,7 +46,7 @@ def next_generation() -> int:
     return next(_conn_gens)
 
 
-@dataclass
+@dataclass(slots=True)
 class SegPayload:
     """Payload of a ``tcp-seg`` frame."""
 
@@ -56,20 +56,20 @@ class SegPayload:
     completed: List["StreamRecord"] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class AckPayload:
     gen: int
     ack_seq: int
 
 
-@dataclass
+@dataclass(slots=True)
 class CtrlPayload:
     """SYN / SYNACK / RST / CLOSE control payload."""
 
     gen: int
 
 
-@dataclass
+@dataclass(slots=True)
 class StreamRecord:
     """One framed application message within the byte stream.
 
@@ -116,6 +116,8 @@ class TcpEndpoint(Channel):
         self._pending_boundaries: Deque[StreamRecord] = deque()
         self._blocked_waiters: List[Event] = []
         self._rto_timer: Optional[Timer] = None
+        self._rto_timer_at = 0.0  # fire time of the physical timer
+        self._rto_deadline: Optional[float] = None  # None = not armed
         self._rto = params.rto_initial
         self._stalled_since: Optional[float] = None
         self._alloc_retry: Optional[Timer] = None
@@ -189,44 +191,83 @@ class TcpEndpoint(Channel):
     def _pump(self) -> None:
         if self.broken or not self.established:
             return
+        sent = self.sent_seq
+        stream_len = self.stream_len
+        if sent >= stream_len:
+            self._arm_rto()  # nothing to send: same fall-through as below
+            return
+        # Everything the per-segment loop touches is hoisted to locals:
+        # no simulated event runs inside the loop, so none of these can
+        # change under it (a synchronous SAN error report may mark the
+        # endpoint broken, but that never touched the cursor either).
         params = self.params
         transport = self.transport
-        while self.sent_seq < self.stream_len:
-            inflight = self.sent_seq - self.acked_seq
-            if inflight >= params.window_bytes:
+        window = params.window_bytes
+        seg_size = params.segment_size
+        acked = self.acked_seq
+        probe = transport.kernel_memory.probe
+        nic_send = transport.nic.send
+        local = self.local
+        peer = self.peer
+        gen = self.gen
+        first_sent = sent
+        # Message boundaries not yet covered by a transmitted segment, in
+        # stream order.  Consuming from the front replaces a scan of the
+        # whole unacked deque per segment (quadratic in window size).
+        boundaries = self._pending_boundaries
+        # On a clean fabric path, collect the whole burst and submit it in
+        # one fabric call; timing and loss behaviour are identical (the
+        # fabric serializes the train with the same arithmetic), there are
+        # just fewer heap events.  ``fast_path_clear`` is re-checked every
+        # pump because faults flip it between calls, never within one.
+        train: Optional[List[Frame]] = (
+            [] if transport.nic.fast_path_clear(peer) else None
+        )
+        alloc_failed = False
+        while sent < stream_len:
+            inflight = sent - acked
+            if inflight >= window:
                 break
-            seg_len = min(
-                params.segment_size,
-                self.stream_len - self.sent_seq,
-                params.window_bytes - inflight,
-            )
-            if not transport.kernel_memory.probe(seg_len):
-                # Out of kernel memory: the packet waits inside the OS and
-                # the stack retries allocation later.
-                self._schedule_alloc_retry()
-                return
-            completed = [
-                r
-                for r in self._unacked
-                if self.sent_seq < r.end_seq <= self.sent_seq + seg_len
-            ]
-            payload = SegPayload(
-                gen=self.gen,
-                seq=self.sent_seq,
-                length=seg_len,
-                completed=completed,
-            )
+            seg_len = min(seg_size, stream_len - sent, window - inflight)
+            if not probe(seg_len):
+                alloc_failed = True
+                break
+            while boundaries and boundaries[0].end_seq <= sent:
+                boundaries.popleft()  # already behind the send cursor
+            end = sent + seg_len
+            completed: List[StreamRecord] = []
+            while boundaries and boundaries[0].end_seq <= end:
+                completed.append(boundaries.popleft())
             frame = Frame(
-                src=self.local,
-                dst=self.peer,
+                src=local,
+                dst=peer,
                 size=seg_len,
                 kind="tcp-seg",
-                payload=payload,
+                payload=SegPayload(
+                    gen=gen, seq=sent, length=seg_len, completed=completed
+                ),
             )
-            transport.nic.send(frame)  # silent loss: TCP learns via RTO only
-            self.sent_seq += seg_len
-            if self._stalled_since is None:
-                self._stalled_since = self.engine.now
+            if train is None:
+                nic_send(frame)  # silent loss: TCP learns via RTO
+            else:
+                train.append(frame)
+            sent = end
+        self.sent_seq = sent
+        if sent != first_sent and self._stalled_since is None:
+            self._stalled_since = self.engine.now
+        if train:
+            if len(train) == 1:
+                # ACK-clocked steady state: one window slot opened, one
+                # segment out.  send() is the same submission with less
+                # train bookkeeping.
+                nic_send(train[0])
+            else:
+                transport.nic.send_train(train)
+        if alloc_failed:
+            # Out of kernel memory: the packet waits inside the OS and the
+            # stack retries allocation later.
+            self._schedule_alloc_retry()
+            return
         self._arm_rto()
 
     def _schedule_alloc_retry(self) -> None:
@@ -246,19 +287,48 @@ class TcpEndpoint(Channel):
     # ------------------------------------------------------------------
     def _arm_rto(self) -> None:
         if self.sent_seq == self.acked_seq:
-            self._cancel_rto()
+            self._rto_deadline = None
             self._stalled_since = None
             return
+        if self._rto_deadline is not None:
+            return  # already armed; keep the earlier deadline
+        self._rto_deadline = deadline = self.engine.now + self._rto
+        # Lazy timer: each ACK merely clears the deadline; a ticking
+        # physical timer is left in the heap and re-arms itself to the
+        # live deadline when it fires.  Cancelling + reallocating a heap
+        # entry per ACK would dominate the steady-state data path.
         if self._rto_timer is None or not self._rto_timer.active:
-            self._rto_timer = self.engine.call_after(self._rto, self._on_rto)
+            self._rto_timer = self.engine.call_after(self._rto, self._rto_fire)
+            self._rto_timer_at = deadline
+        elif self._rto_timer_at > deadline:
+            # Backoff just got reset: the ticking timer would fire too
+            # late for the fresh deadline, so it must be replaced.
+            self._rto_timer.cancel()
+            self._rto_timer = self.engine.call_after(self._rto, self._rto_fire)
+            self._rto_timer_at = deadline
 
     def _cancel_rto(self) -> None:
+        self._rto_deadline = None
         if self._rto_timer is not None:
             self._rto_timer.cancel()
             self._rto_timer = None
 
-    def _on_rto(self) -> None:
+    def _rto_fire(self) -> None:
         self._rto_timer = None
+        deadline = self._rto_deadline
+        if deadline is None:
+            return  # disarmed since the timer was set
+        now = self.engine.now
+        if deadline > now:
+            self._rto_timer = self.engine.call_after(
+                deadline - now, self._rto_fire
+            )
+            self._rto_timer_at = deadline
+            return
+        self._rto_deadline = None
+        self._on_rto()
+
+    def _on_rto(self) -> None:
         if self.broken:
             return
         if (
@@ -278,6 +348,10 @@ class TcpEndpoint(Channel):
                 TCP_RETRANSMIT, node=self.local, peer=self.peer, rto=self._rto
             )
         self.sent_seq = self.acked_seq
+        # The rewound range will be re-segmented: every unacked record's
+        # boundary is pending again (``_unacked`` holds exactly the records
+        # past the cumulative ACK, in stream order).
+        self._pending_boundaries = deque(self._unacked)
         self._rto = min(self._rto * 2, self.params.rto_max)
         self._pump()
         self._arm_rto()
@@ -286,34 +360,37 @@ class TcpEndpoint(Channel):
     # Inbound (kernel RX path) — called by the owning transport
     # ------------------------------------------------------------------
     def handle_segment(self, payload: SegPayload) -> None:
-        params = self.params
-        transport = self.transport
-        if not transport.kernel_memory.probe(payload.length):
+        length = payload.length
+        if not self.transport.kernel_memory.probe(length):
             return  # inbound packet dropped: no skbuf at the faulty node
         if payload.seq != self.expected_seq:
             if payload.seq < self.expected_seq:
                 self._send_ack()  # duplicate: re-ACK to resync the sender
             return  # out-of-order after loss: dropped, sender will rewind
-        if self.rcvbuf_used + payload.length > params.rcvbuf_bytes:
+        if self.rcvbuf_used + length > self.params.rcvbuf_bytes:
             return  # receiver application is not draining; exert backpressure
-        self.expected_seq += payload.length
-        self.rcvbuf_used += payload.length
-        for record in payload.completed:
-            self._record_complete(record)
+        self.expected_seq += length
+        self.rcvbuf_used += length
+        completed = payload.completed
+        if completed:
+            for record in completed:
+                self._record_complete(record)
         self._send_ack()
 
     def _send_ack(self) -> None:
         transport = self.transport
-        if not transport.kernel_memory.probe(self.params.ack_bytes):
+        ack_bytes = self.params.ack_bytes
+        if not transport.kernel_memory.probe(ack_bytes):
             return  # even ACKs need buffers; the faulty node goes mute
-        frame = Frame(
-            src=self.local,
-            dst=self.peer,
-            size=self.params.ack_bytes,
-            kind="tcp-ack",
-            payload=AckPayload(gen=self.gen, ack_seq=self.expected_seq),
+        transport.nic.send(
+            Frame(
+                src=self.local,
+                dst=self.peer,
+                size=ack_bytes,
+                kind="tcp-ack",
+                payload=AckPayload(gen=self.gen, ack_seq=self.expected_seq),
+            )
         )
-        transport.nic.send(frame)
 
     def _record_complete(self, record: StreamRecord) -> None:
         """A whole framed message has been assembled in the receive buffer."""
@@ -351,10 +428,12 @@ class TcpEndpoint(Channel):
         while self._unacked and self._unacked[0].end_seq <= self.acked_seq:
             record = self._unacked.popleft()
             self.sndbuf_used -= record.wire_bytes
-        # Forward progress: reset backoff and the stall clock.
+        # Forward progress: reset backoff and the stall clock.  Disarm the
+        # RTO logically only — the physical timer re-arms itself (see
+        # :meth:`_arm_rto`).
         self._rto = self.params.rto_initial
         self._stalled_since = None
-        self._cancel_rto()
+        self._rto_deadline = None
         if self.sent_seq < self.acked_seq:
             self.sent_seq = self.acked_seq
         self._maybe_unblock()

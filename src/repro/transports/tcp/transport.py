@@ -67,16 +67,19 @@ class TcpTransport(Transport):
             engine, "transport.tcp.framing_errors", node=node.node_id
         )
 
-        for kind in (
-            "tcp-seg",
-            "tcp-ack",
-            "tcp-syn",
-            "tcp-synack",
-            "tcp-rst",
-            "tcp-close",
-            "tcp-dgram",
+        # The NIC routes by frame kind already — register each handler
+        # directly rather than re-dispatching through an if-chain (data
+        # segments and ACKs dominate the event stream).
+        for kind, handler in (
+            ("tcp-seg", self._on_segment),
+            ("tcp-ack", self._on_ack),
+            ("tcp-syn", self._on_syn),
+            ("tcp-synack", self._on_synack),
+            ("tcp-rst", self._on_rst),
+            ("tcp-close", self._on_close),
+            ("tcp-dgram", self._on_dgram),
         ):
-            self.nic.register(kind, self._on_frame)
+            self.nic.register(kind, handler)
         node.process.on_death.append(self._on_process_death)
         node.process.on_cont.append(self._on_process_cont)
 
@@ -208,25 +211,8 @@ class TcpTransport(Transport):
         )
 
     # ------------------------------------------------------------------
-    # Frame dispatch
+    # Frame dispatch (handlers registered per kind on the NIC)
     # ------------------------------------------------------------------
-    def _on_frame(self, frame: Frame) -> None:
-        kind = frame.kind
-        if kind == "tcp-seg":
-            self._on_segment(frame)
-        elif kind == "tcp-ack":
-            self._on_ack(frame)
-        elif kind == "tcp-syn":
-            self._on_syn(frame)
-        elif kind == "tcp-synack":
-            self._on_synack(frame)
-        elif kind == "tcp-rst":
-            self._on_rst(frame)
-        elif kind == "tcp-close":
-            self._on_close(frame)
-        elif kind == "tcp-dgram":
-            self._on_dgram(frame)
-
     def _on_segment(self, frame: Frame) -> None:
         payload: SegPayload = frame.payload
         ep = self.endpoints.get(frame.src)

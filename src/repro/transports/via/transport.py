@@ -78,18 +78,21 @@ class ViaTransport(Transport):
             engine, "transport.via.descriptor_errors", node=node.node_id
         )
 
-        for kind in (
-            "via-msg",
-            "rdma-write",
-            "via-credit",
-            "via-connect",
-            "via-accept",
-            "via-reject",
-            "via-close",
-            "via-dgram",
-            "via-remote-error",
+        # The NIC routes by frame kind already — register each handler
+        # directly rather than re-dispatching through an if-chain (data
+        # and credit frames dominate the event stream).
+        for kind, handler in (
+            ("via-msg", self._on_data),
+            ("rdma-write", self._on_data),
+            ("via-credit", self._on_credit),
+            ("via-connect", self._on_connect_request),
+            ("via-accept", self._on_accept_frame),
+            ("via-reject", self._on_reject),
+            ("via-close", self._on_close),
+            ("via-dgram", self._on_dgram),
+            ("via-remote-error", self._on_remote_error),
         ):
-            self.nic.register(kind, self._on_frame)
+            self.nic.register(kind, handler)
         self.nic.on_error(self._on_nic_error)
         node.process.on_death.append(self._on_process_death)
         node.process.on_cont.append(self._on_process_cont)
@@ -270,30 +273,17 @@ class ViaTransport(Transport):
     # ------------------------------------------------------------------
     # Frame dispatch
     # ------------------------------------------------------------------
-    def _on_frame(self, frame: Frame) -> None:
-        kind = frame.kind
-        if kind in ("via-msg", "rdma-write"):
-            gen, msg = frame.payload
-            channel = self.channels.get(frame.src)
-            if channel is not None and channel.gen == gen and not channel.broken:
-                channel.handle_message(msg)
-        elif kind == "via-credit":
-            gen, n = frame.payload
-            channel = self.channels.get(frame.src)
-            if channel is not None and channel.gen == gen and not channel.broken:
-                channel.handle_credits(n)
-        elif kind == "via-connect":
-            self._on_connect_request(frame)
-        elif kind == "via-accept":
-            self._on_accept_frame(frame)
-        elif kind == "via-reject":
-            self._on_reject(frame)
-        elif kind == "via-close":
-            self._on_close(frame)
-        elif kind == "via-dgram":
-            self._on_dgram(frame)
-        elif kind == "via-remote-error":
-            self._on_remote_error(frame)
+    def _on_data(self, frame: Frame) -> None:
+        gen, msg = frame.payload
+        channel = self.channels.get(frame.src)
+        if channel is not None and channel.gen == gen and not channel.broken:
+            channel.handle_message(msg)
+
+    def _on_credit(self, frame: Frame) -> None:
+        gen, n = frame.payload
+        channel = self.channels.get(frame.src)
+        if channel is not None and channel.gen == gen and not channel.broken:
+            channel.handle_credits(n)
 
     def _on_connect_request(self, frame: Frame) -> None:
         gen, _ = frame.payload

@@ -144,7 +144,20 @@ def test_frame_size_validation():
         Frame(src="a", dst="b", size=-1, kind="x")
 
 
-def test_frame_ids_unique():
-    f1 = Frame(src="a", dst="b", size=1, kind="x")
-    f2 = Frame(src="a", dst="b", size=1, kind="x")
-    assert f1.frame_id != f2.frame_id
+def test_frame_ids_unique_and_deterministic_per_run():
+    def run_ids():
+        engine = Engine()
+        fabric = Fabric(engine)
+        src = fabric.attach("a")
+        fabric.attach("b")
+        f1 = Frame(src="a", dst="b", size=1, kind="x")
+        f2 = Frame(src="a", dst="b", size=1, kind="x")
+        src.send(f1)
+        src.send(f2)
+        return f1.frame_id, f2.frame_id
+
+    first = run_ids()
+    assert first[0] != first[1]
+    # A fresh fabric restarts the counter: traces from two runs in the
+    # same process are diffable.
+    assert run_ids() == first

@@ -234,3 +234,73 @@ class TestEvent:
         ev.add_callback(lambda event: seen.append((e.now, event.value)))
         e.run()
         assert seen == [(4.0, "done")]
+
+
+class TestHotLoopInternals:
+    """White-box checks of the hot-loop machinery: the timer freelist,
+    the head slot, and incremental tombstone compaction."""
+
+    def test_timer_objects_are_recycled(self):
+        e = Engine()
+        fired = []
+        t1 = e.call_after(0.1, lambda: fired.append(1))
+        e.run()
+        t2 = e.call_after(0.1, lambda: fired.append(2))
+        assert t2 is t1  # fired timers return through the freelist
+        e.run()
+        assert fired == [1, 2]
+
+    def test_cancelled_timers_are_recycled(self):
+        e = Engine()
+        t1 = e.call_after(1.0, lambda: None)
+        t1.cancel()
+        e.run()  # compaction reclaims the tombstone
+        t2 = e.call_after(1.0, lambda: None)
+        assert t2 is t1
+
+    def test_ordering_with_head_slot_backfill(self):
+        """A later schedule that precedes the cached next event must run
+        first (the head slot only ever holds the globally earliest entry)."""
+        e = Engine()
+        order = []
+        e.call_after(2.0, lambda: order.append("late"))
+        e.call_after(1.0, lambda: order.append("early"))
+        e.call_after(0.5, lambda: order.append("earliest"))
+        e.run()
+        assert order == ["earliest", "early", "late"]
+
+    def test_mass_cancellation_keeps_heap_bounded(self):
+        e = Engine()
+        keeper = []
+        for _ in range(50):
+            timers = [e.call_after(10.0, lambda: None) for _ in range(200)]
+            for t in timers:
+                t.cancel()
+            keeper.append(e.call_after(5.0, lambda: None))
+        # Incremental compaction runs at cancel time: tombstones cannot
+        # accumulate past the live population by more than a constant
+        # factor.
+        assert len(e._heap) < 2_000
+        assert e.pending == 50
+
+    def test_pending_is_exact_after_mixed_fire_and_cancel(self):
+        e = Engine()
+        fired = []
+        live = [e.call_after(float(i + 1), lambda: fired.append(1)) for i in range(10)]
+        for t in live[::3]:
+            t.cancel()
+        e.run(until=5.0)
+        expected = sum(
+            1
+            for i, t in enumerate(live)
+            if i % 3 != 0 and float(i + 1) > 5.0
+        )
+        assert e.pending == expected
+
+    def test_events_processed_excludes_cancelled(self):
+        e = Engine()
+        t1 = e.call_after(1.0, lambda: None)
+        e.call_after(2.0, lambda: None)
+        t1.cancel()
+        e.run()
+        assert e.events_processed == 1

@@ -47,6 +47,28 @@ class TestLinkFaults:
         assert ch.broken
         assert ("b", "etimedout") in tcp_pair.breaks["a"]
 
+    def test_backoff_reset_wins_over_stale_armed_timer(self, tcp_pair):
+        """The lazily re-armed RTO must honour a backoff reset.
+
+        After an outage the channel's physical timer may still be armed
+        at a doubled timeout.  Once an ACK resets the backoff, the next
+        loss has to be detected after ``rto_initial`` again — not after
+        whatever stale deadline happens to be in the heap."""
+        ch = tcp_pair.connect()
+        link = tcp_pair.fabric.link("b")
+        link.fail_for(intra_cluster_kind)
+        ch.send(Message("m", 64))
+        run(tcp_pair, 3.0)
+        assert ch._rto > ch.params.rto_initial  # backed off during outage
+        link.repair()
+        run(tcp_pair, 5.0)  # retransmit lands; the ACK resets the backoff
+        assert ch._rto == ch.params.rto_initial
+        link.fail_for(intra_cluster_kind)
+        ch.send(Message("m", 64, payload="second-outage"))
+        before = ch.retransmissions
+        run(tcp_pair, ch.params.rto_initial + 0.1)
+        assert ch.retransmissions > before
+
 
 class TestProcessAndNodeDeath:
     def test_process_crash_breaks_peers_fast(self, tcp_pair):
