@@ -173,6 +173,30 @@ def test_via_message_throughput(benchmark):
     assert benchmark(run_msgs) == 500
 
 
+def test_bus_publish_fastpath(benchmark):
+    """Zero-subscriber publish() cost — the observability tax on every
+    hot-path event site when nothing is listening.
+
+    The observatory made buckets and process lifecycle publish on the
+    bus, so the inactive-bus early-out now guards the monitor's
+    completion path too; this bench keeps it an attribute load plus a
+    set probe, not an event construction.
+    """
+    from repro.obs.bus import EventBus
+    from repro.obs.events import CACHE_HIT
+
+    def run_publishes():
+        e = Engine()
+        bus = EventBus(e)
+        n = 0
+        for _ in range(100_000):
+            bus.publish(CACHE_HIT, file="f0")
+            n += 1
+        return n
+
+    assert benchmark(run_publishes) == 100_000
+
+
 def test_cluster_simulation_rate(benchmark):
     """Simulated-seconds per wall-second for a fault-free PRESS cluster."""
     from repro.press.cluster import SMOKE_SCALE, PressCluster

@@ -7,6 +7,8 @@ Usage::
     python -m repro figure 6
     python -m repro timeline --version VIA-PRESS-5 --fault link-down
     python -m repro campaign --versions TCP-PRESS VIA-PRESS-5
+    python -m repro dashboard .repro-cache
+    python -m repro trace-validate traces/
     python -m repro crossover
     python -m repro validate
 
@@ -131,6 +133,28 @@ def cmd_campaign(args) -> None:
         print(traces)
 
 
+def cmd_dashboard(args) -> None:
+    from .analysis.dashboard import dashboard_from_store
+
+    try:
+        out = dashboard_from_store(args.store, args.out)
+    except ValueError as exc:
+        sys.exit(f"dashboard: {exc}")
+    print(f"dashboard: {out}")
+
+
+def cmd_trace_validate(args) -> None:
+    from .obs.exporters import validate_trace_dir
+
+    try:
+        results = validate_trace_dir(args.trace_dir_arg)
+    except ValueError as exc:
+        sys.exit(f"trace-validate: {exc}")
+    for name, count in sorted(results.items()):
+        print(f"{name}: {count} events ok")
+    print(f"trace-validate: {len(results)} file(s) ok")
+
+
 def cmd_crossover(args) -> None:
     from .experiments.performability import run_crossover
 
@@ -236,6 +260,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp = sub.add_parser("campaign", help="full phase-1+2 report")
     p_camp.add_argument("--versions", nargs="*", default=None)
 
+    p_dash = sub.add_parser(
+        "dashboard",
+        help="render a campaign store to one self-contained HTML report",
+    )
+    p_dash.add_argument("store", help="campaign cache dir (a DiskStore)")
+    p_dash.add_argument(
+        "--out", default=None,
+        help="output HTML path (default: <store>/dashboard.html)",
+    )
+
+    p_tv = sub.add_parser(
+        "trace-validate",
+        help="validate every trace file in a directory (non-zero exit on "
+        "malformed traces)",
+    )
+    p_tv.add_argument(
+        "trace_dir_arg", metavar="trace_dir",
+        help="directory of *.jsonl / *.trace.json traces",
+    )
+
     sub.add_parser("crossover", help="the §9 ~4x crossover multipliers")
     sub.add_parser("validate", help="validate the model against simulation")
 
@@ -272,6 +316,8 @@ def main(argv=None) -> None:
         "figure": cmd_figure,
         "timeline": cmd_timeline,
         "campaign": cmd_campaign,
+        "dashboard": cmd_dashboard,
+        "trace-validate": cmd_trace_validate,
         "crossover": cmd_crossover,
         "validate": cmd_validate,
         "stability": cmd_stability,

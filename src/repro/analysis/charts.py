@@ -1,11 +1,14 @@
 """Terminal-friendly charts: sparklines, bar charts, timeline plots.
 
 Everything renders to plain strings so reports work over SSH, in CI
-logs, and in the paper-regeneration benchmarks.
+logs, and in the paper-regeneration benchmarks.  The ``svg_*`` helpers
+emit inline SVG fragments for the self-contained campaign dashboard —
+same zero-dependency rule, just a different sink.
 """
 
 from __future__ import annotations
 
+from html import escape
 from typing import Iterable, List, Mapping, Optional, Sequence, Tuple
 
 _SPARK = "▁▂▃▄▅▆▇█"
@@ -91,3 +94,127 @@ def timeline_plot(
                 rail[idx] = char[0]
         rows.append(" " * 10 + "".join(rail))
     return "\n".join(rows)
+
+
+# ----------------------------------------------------------------------
+# Inline SVG (campaign dashboard)
+# ----------------------------------------------------------------------
+
+#: Stage band fill colors — muted so the throughput line stays readable.
+STAGE_COLORS = {
+    "A": "#f4c7c3",  # fault active, undetected
+    "B": "#fce8b2",  # reconfiguration transient
+    "C": "#fff6d5",  # stable degraded
+    "D": "#c8e6c9",  # post-recovery transient
+    "E": "#d7ccc8",  # stable sub-normal
+    "F": "#d0d9f0",  # operator reset
+    "G": "#e1f5fe",  # post-reset transient
+    "normal": "none",
+}
+
+
+def _fmt(x: float) -> str:
+    """Compact SVG coordinate: trim trailing zeros."""
+    return f"{x:.2f}".rstrip("0").rstrip(".")
+
+
+def svg_timeline(
+    series: Sequence[Sequence[float]],
+    tn: float = 0.0,
+    stages: Optional[Sequence[Sequence]] = None,
+    markers: Optional[Mapping[str, float]] = None,
+    width: int = 640,
+    height: int = 150,
+    bucket_width: float = 1.0,
+) -> str:
+    """An inline-SVG throughput timeline with stage bands and markers.
+
+    ``series`` is ``[(time, rate), ...]``; ``stages`` is
+    ``[(stage, start, end), ...]`` rendered as colored background bands
+    with the stage letter at the top; ``markers`` maps labels to times
+    (vertical dashed rules).  ``tn`` draws a dotted normal-throughput
+    reference.  Returns a self-contained ``<svg>`` fragment — no
+    external CSS, fonts, or scripts.
+    """
+    if not series:
+        return "<svg xmlns='http://www.w3.org/2000/svg' width='%d' height='%d'></svg>" % (
+            width,
+            height,
+        )
+    pad_l, pad_r, pad_t, pad_b = 42, 8, 14, 18
+    plot_w = width - pad_l - pad_r
+    plot_h = height - pad_t - pad_b
+    t_end = max(series[-1][0] + bucket_width, 1e-9)
+    v_max = max(max(r for _, r in series), tn, 1e-9) * 1.05
+
+    def x(t: float) -> float:
+        return pad_l + min(max(t, 0.0), t_end) / t_end * plot_w
+
+    def y(v: float) -> float:
+        return pad_t + plot_h - min(max(v, 0.0), v_max) / v_max * plot_h
+
+    parts: List[str] = [
+        f"<svg xmlns='http://www.w3.org/2000/svg' width='{width}' "
+        f"height='{height}' viewBox='0 0 {width} {height}' "
+        f"font-family='sans-serif' font-size='9'>",
+        f"<rect x='{pad_l}' y='{pad_t}' width='{plot_w}' height='{plot_h}' "
+        "fill='#fafafa' stroke='#ccc' stroke-width='0.5'/>",
+    ]
+    for span in stages or []:
+        stage, lo, hi = span[0], float(span[1]), float(span[2])
+        color = STAGE_COLORS.get(str(stage), "#eeeeee")
+        if color == "none" or hi <= lo:
+            continue
+        bx, bw = x(lo), max(x(hi) - x(lo), 0.5)
+        parts.append(
+            f"<rect x='{_fmt(bx)}' y='{pad_t}' width='{_fmt(bw)}' "
+            f"height='{plot_h}' fill='{color}'/>"
+        )
+        if bw >= 8:
+            parts.append(
+                f"<text x='{_fmt(bx + bw / 2)}' y='{pad_t + 9}' "
+                f"text-anchor='middle' fill='#555'>{escape(str(stage))}</text>"
+            )
+    if tn > 0:
+        parts.append(
+            f"<line x1='{pad_l}' y1='{_fmt(y(tn))}' x2='{pad_l + plot_w}' "
+            f"y2='{_fmt(y(tn))}' stroke='#888' stroke-width='0.7' "
+            "stroke-dasharray='2,3'/>"
+        )
+        parts.append(
+            f"<text x='{pad_l - 4}' y='{_fmt(y(tn) + 3)}' text-anchor='end' "
+            f"fill='#555'>{_fmt(tn)}</text>"
+        )
+    points = " ".join(
+        f"{_fmt(x(t + bucket_width / 2))},{_fmt(y(r))}" for t, r in series
+    )
+    parts.append(
+        f"<polyline points='{points}' fill='none' stroke='#1565c0' "
+        "stroke-width='1.2'/>"
+    )
+    for label, when in (markers or {}).items():
+        if when is None:
+            continue
+        mx = _fmt(x(float(when)))
+        parts.append(
+            f"<line x1='{mx}' y1='{pad_t}' x2='{mx}' y2='{pad_t + plot_h}' "
+            "stroke='#c62828' stroke-width='0.8' stroke-dasharray='4,2'/>"
+        )
+        parts.append(
+            f"<text x='{mx}' y='{height - 6}' text-anchor='middle' "
+            f"fill='#c62828'>{escape(str(label))}</text>"
+        )
+    parts.append(
+        f"<text x='{pad_l - 4}' y='{pad_t + 4}' text-anchor='end' "
+        f"fill='#555'>{_fmt(v_max)}</text>"
+    )
+    parts.append(
+        f"<text x='{pad_l - 4}' y='{pad_t + plot_h + 3}' text-anchor='end' "
+        "fill='#555'>0</text>"
+    )
+    parts.append(
+        f"<text x='{pad_l + plot_w}' y='{height - 6}' text-anchor='end' "
+        f"fill='#555'>{_fmt(t_end)}s</text>"
+    )
+    parts.append("</svg>")
+    return "".join(parts)

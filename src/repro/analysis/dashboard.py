@@ -1,0 +1,397 @@
+"""Self-contained HTML dashboard over a persisted campaign store.
+
+``python -m repro dashboard <cache-dir>`` walks every cached cell and
+renders one HTML file an operator can open from a laptop, a CI artifact
+tab, or a 2003-era NOC workstation: zero external scripts, stylesheets,
+fonts, or network fetches — charts are inline SVG built by
+:mod:`repro.analysis.charts`.
+
+Sections:
+
+* **overview** — cell inventory and versions/faults covered;
+* **performability** — phase-2 availability / average-throughput /
+  performability tables rebuilt from the stored per-cell profiles
+  (same merge arithmetic as the campaign runner);
+* **fault matrix** — versions × faults availability grid (the TCP-vs-VIA
+  comparison at a glance);
+* **timelines** — per (version, fault) throughput timelines banded with
+  the *online* stage classification from the observatory;
+* **divergence** — online detector vs. ground-truth fit, per cell;
+* **health** — SLO watchdog episodes and time-in-violation.
+"""
+
+from __future__ import annotations
+
+from html import escape
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.faultload import DAY, MONTH, FaultLoad
+from ..core.metric import performability_of
+from ..core.model import ProfileSet, evaluate
+from ..core.stages import SevenStageProfile, average_profiles
+from .charts import STAGE_COLORS, svg_timeline
+
+_CSS = """
+body { font-family: sans-serif; margin: 1.5em auto; max-width: 72em;
+       color: #222; }
+h1 { border-bottom: 2px solid #1565c0; padding-bottom: 0.2em; }
+h2 { margin-top: 1.6em; border-bottom: 1px solid #ccc; }
+table { border-collapse: collapse; margin: 0.8em 0; }
+th, td { border: 1px solid #bbb; padding: 0.25em 0.6em; text-align: right; }
+th { background: #eef2f8; }
+td.label, th.label { text-align: left; }
+.cellnote { color: #666; font-size: 85%; }
+.warn { color: #b71c1c; }
+.legend span { display: inline-block; padding: 0 0.5em; margin-right: 0.3em;
+               border: 1px solid #aaa; }
+figure { margin: 0.6em 0 1.4em 0; }
+figcaption { font-size: 90%; color: #444; margin-bottom: 0.2em; }
+"""
+
+#: Fault loads evaluated in the performability section (same defaults as
+#: ``repro.analysis.report.campaign_report``).
+_LOADS = (
+    ("app faults 1/day", lambda: FaultLoad.table3(app_fault_mttf=DAY)),
+    ("app faults 1/month", lambda: FaultLoad.table3(app_fault_mttf=MONTH)),
+)
+
+
+class _Cell:
+    """One deduplicated store cell (newest schema generation wins)."""
+
+    def __init__(self, key: dict, payload: dict):
+        self.version = str(key.get("version"))
+        self.fault: Optional[str] = key.get("fault")
+        self.seed = key.get("seed")
+        self.schema = int(key.get("schema", 0))
+        self.payload = payload
+
+    @property
+    def observatory(self) -> dict:
+        return self.payload.get("observatory") or {}
+
+    @property
+    def timeline(self) -> dict:
+        return self.payload.get("timeline") or {}
+
+    @property
+    def divergence(self) -> dict:
+        return self.payload.get("divergence") or {}
+
+
+def _collect(cells: Iterable[Tuple[dict, dict]]) -> Tuple[List[_Cell], int]:
+    """Deduplicate raw store rows; returns (cells, stale_skipped)."""
+    best: Dict[tuple, _Cell] = {}
+    for key, payload in cells:
+        cell = _Cell(key, payload)
+        ident = (cell.version, cell.fault, cell.seed)
+        if ident not in best or cell.schema > best[ident].schema:
+            best[ident] = cell
+    newest = max((c.schema for c in best.values()), default=0)
+    kept = [c for c in best.values() if c.schema == newest]
+    stale = len(best) - len(kept)
+    kept.sort(key=lambda c: (c.version, c.fault or "", str(c.seed)))
+    return kept, stale
+
+
+def _fmt(x, digits: int = 3) -> str:
+    if x is None:
+        return "—"
+    if isinstance(x, float):
+        return f"{x:.{digits}f}"
+    return str(x)
+
+
+def _profile_sets(cells: List[_Cell]) -> Dict[str, ProfileSet]:
+    """Rebuild per-version ProfileSets with the runner's merge rules."""
+    out: Dict[str, ProfileSet] = {}
+    for version in sorted({c.version for c in cells}):
+        tns = [
+            float(c.payload["tn"])
+            for c in cells
+            if c.version == version and c.fault is None and "tn" in c.payload
+        ]
+        per_fault: Dict[str, List[SevenStageProfile]] = {}
+        for c in cells:
+            if c.version != version or c.fault is None:
+                continue
+            if "profile" in c.payload:
+                per_fault.setdefault(c.fault, []).append(
+                    SevenStageProfile.from_dict(c.payload["profile"])
+                )
+        if not tns or not per_fault:
+            continue
+        profiles = ProfileSet(version, sum(tns) / len(tns))
+        for fault in sorted(per_fault):
+            profiles.add(average_profiles(per_fault[fault]))
+        out[version] = profiles
+    return out
+
+
+def _performability_section(cells: List[_Cell]) -> List[str]:
+    sets = _profile_sets(cells)
+    if not sets:
+        return ["<p class='cellnote'>no complete version in the store "
+                "(need a baseline and at least one fault profile)</p>"]
+    out: List[str] = []
+    for label, load_of in _LOADS:
+        load = load_of()
+        out.append(f"<h3>fault load: {escape(label)}</h3>")
+        out.append(
+            "<table><tr><th class='label'>version</th><th>AA</th>"
+            "<th>unavailability %</th><th>AT req/s</th>"
+            "<th>performability</th><th>skipped sources</th></tr>"
+        )
+        for version, profiles in sets.items():
+            usable = FaultLoad(
+                components=tuple(c for c in load if c.key in profiles)
+            )
+            skipped = len(load) - len(usable)
+            r = evaluate(profiles, usable)
+            out.append(
+                f"<tr><td class='label'>{escape(version)}</td>"
+                f"<td>{r.availability:.5f}</td>"
+                f"<td>{r.unavailability * 100:.3f}</td>"
+                f"<td>{r.average_throughput:.0f}</td>"
+                f"<td>{performability_of(r):.1f}</td>"
+                f"<td>{skipped}</td></tr>"
+            )
+        out.append("</table>")
+    return out
+
+
+def _fault_matrix_section(cells: List[_Cell]) -> List[str]:
+    versions = sorted({c.version for c in cells})
+    faults = sorted({c.fault for c in cells if c.fault is not None})
+    if not faults:
+        return ["<p class='cellnote'>no fault cells in the store</p>"]
+    by: Dict[tuple, List[_Cell]] = {}
+    for c in cells:
+        if c.fault is not None:
+            by.setdefault((c.version, c.fault), []).append(c)
+    out = [
+        "<p>run availability (mean over replications), with the online "
+        "detector's final stage in parentheses.</p>",
+        "<table><tr><th class='label'>fault</th>"
+        + "".join(f"<th>{escape(v)}</th>" for v in versions)
+        + "</tr>",
+    ]
+    for fault in faults:
+        row = [f"<tr><td class='label'>{escape(fault)}</td>"]
+        for version in versions:
+            group = by.get((version, fault))
+            if not group:
+                row.append("<td>—</td>")
+                continue
+            avails = [
+                c.timeline.get("availability")
+                for c in group
+                if c.timeline.get("availability") is not None
+            ]
+            finals = {
+                (c.observatory.get("stages") or {}).get("final_stage", "?")
+                for c in group
+            }
+            avail = (
+                f"{sum(avails) / len(avails):.4f}" if avails else "n/a"
+            )
+            row.append(
+                f"<td>{avail} ({escape('/'.join(sorted(finals)))})</td>"
+            )
+        row.append("</tr>")
+        out.append("".join(row))
+    out.append("</table>")
+    return out
+
+
+def _stage_legend() -> str:
+    spans = [
+        f"<span style='background:{color}'>{escape(stage)}</span>"
+        for stage, color in STAGE_COLORS.items()
+        if color != "none"
+    ]
+    return "<p class='legend'>stage bands: " + "".join(spans) + "</p>"
+
+
+def _timeline_section(cells: List[_Cell]) -> List[str]:
+    out = [_stage_legend()]
+    seen: set = set()
+    for c in cells:
+        ident = (c.version, c.fault)
+        if ident in seen or not c.timeline.get("series"):
+            continue
+        seen.add(ident)
+        stages = (c.observatory.get("stages") or {}).get("intervals") or []
+        boundaries = (c.divergence.get("boundaries") or {})
+        markers = {
+            label[:3]: entry.get("online")
+            for label, entry in boundaries.items()
+            if entry.get("online") is not None
+        }
+        label = f"{c.version} / {c.fault or 'baseline'}"
+        svg = svg_timeline(
+            c.timeline["series"],
+            tn=float(c.timeline.get("tn") or 0.0),
+            stages=stages,
+            markers=markers,
+            bucket_width=float(c.timeline.get("bucket_width") or 1.0),
+        )
+        out.append(
+            f"<figure><figcaption>{escape(label)} — availability "
+            f"{_fmt(c.timeline.get('availability'), 4)}</figcaption>"
+            f"{svg}</figure>"
+        )
+    if len(out) == 1:
+        out.append(
+            "<p class='cellnote'>no timelines stored (cells predate "
+            "schema v3; re-run the campaign to collect them)</p>"
+        )
+    return out
+
+
+def _divergence_section(cells: List[_Cell]) -> List[str]:
+    rows = []
+    for c in cells:
+        div = c.divergence
+        if not div:
+            continue
+        missing = div.get("online_missing") or []
+        extra = div.get("online_extra") or []
+        rows.append(
+            f"<tr><td class='label'>{escape(c.version)}</td>"
+            f"<td class='label'>{escape(c.fault or '')}</td>"
+            f"<td>{_fmt(div.get('max_boundary_error'), 2)}</td>"
+            f"<td>{_fmt(div.get('misclassified_s'), 1)}</td>"
+            f"<td>{_fmt(100 * (div.get('misclassified_frac') or 0.0), 1)}</td>"
+            f"<td class='label'>{escape(', '.join(missing)) or '—'}</td>"
+            f"<td class='label'>{escape(', '.join(extra)) or '—'}</td></tr>"
+        )
+    if not rows:
+        return ["<p class='cellnote'>no divergence reports stored</p>"]
+    return [
+        "<p>online stage detector vs. the ground-truth fit, per fault "
+        "cell.  Boundary error is the worst absolute disagreement on a "
+        "boundary both sides observed (seconds); hindsight-only "
+        "boundaries are reported but not observable online.</p>",
+        "<table><tr><th class='label'>version</th>"
+        "<th class='label'>fault</th><th>max boundary err (s)</th>"
+        "<th>misclassified (s)</th><th>misclassified (%)</th>"
+        "<th class='label'>missing online</th>"
+        "<th class='label'>extra online</th></tr>",
+        *rows,
+        "</table>",
+    ]
+
+
+def _health_section(cells: List[_Cell]) -> List[str]:
+    slo = None
+    rows = []
+    for c in cells:
+        health = c.observatory.get("health")
+        if not health:
+            continue
+        slo = slo or health.get("slo")
+        open_flag = any(e.get("open") for e in health.get("episodes", []))
+        rows.append(
+            f"<tr><td class='label'>{escape(c.version)}</td>"
+            f"<td class='label'>{escape(c.fault or 'baseline')}</td>"
+            f"<td>{health.get('violations', 0)}</td>"
+            f"<td>{_fmt(health.get('time_in_violation'), 1)}</td>"
+            f"<td>{_fmt(health.get('min_throughput'), 1)}</td>"
+            f"<td>{_fmt(health.get('min_availability'), 3)}</td>"
+            f"<td class='label'>{'yes' if open_flag else ''}</td></tr>"
+        )
+    if not rows:
+        return ["<p class='cellnote'>no health telemetry stored</p>"]
+    out = []
+    if slo:
+        out.append(
+            "<p>SLO: throughput ≥ "
+            f"{_fmt(100 * slo.get('throughput_floor', 0), 0)}% of "
+            "calibrated Tn, availability ≥ "
+            f"{_fmt(100 * slo.get('availability_floor', 0), 0)}%, over a "
+            f"{_fmt(slo.get('window'), 0)}s rolling window "
+            f"({_fmt(slo.get('calibration'), 0)}s calibration).</p>"
+        )
+    out += [
+        "<table><tr><th class='label'>version</th>"
+        "<th class='label'>fault</th><th>violations</th>"
+        "<th>time in violation (s)</th><th>min throughput</th>"
+        "<th>min availability</th><th class='label'>open at end</th></tr>",
+        *rows,
+        "</table>",
+    ]
+    return out
+
+
+def render_dashboard(
+    cells: Iterable[Tuple[dict, dict]],
+    title: str = "PRESS performability campaign",
+    source: str = "",
+) -> str:
+    """Render the raw ``(key, payload)`` rows into one HTML document."""
+    kept, stale = _collect(cells)
+    versions = sorted({c.version for c in kept})
+    faults = sorted({c.fault for c in kept if c.fault is not None})
+    baselines = sum(1 for c in kept if c.fault is None)
+    sub_errors = sum(
+        (c.payload.get("telemetry") or {}).get("subscriber_errors", 0)
+        for c in kept
+    )
+    body: List[str] = [
+        f"<h1>{escape(title)}</h1>",
+        "<h2>overview</h2>",
+        "<table>"
+        f"<tr><th class='label'>store</th><td class='label'>{escape(source)}</td></tr>"
+        f"<tr><th class='label'>cells</th><td class='label'>{len(kept)} "
+        f"({baselines} baselines, {len(kept) - baselines} fault runs)</td></tr>"
+        f"<tr><th class='label'>versions</th>"
+        f"<td class='label'>{escape(', '.join(versions)) or '—'}</td></tr>"
+        f"<tr><th class='label'>faults</th>"
+        f"<td class='label'>{escape(', '.join(faults)) or '—'}</td></tr>"
+        "</table>",
+    ]
+    if stale:
+        body.append(
+            f"<p class='warn'>{stale} cell(s) from older store schema "
+            "generations were ignored.</p>"
+        )
+    if sub_errors:
+        body.append(
+            f"<p class='warn'>warning: {sub_errors} bus subscriber "
+            "error(s) recorded — observers saw a partial event "
+            "stream.</p>"
+        )
+    body += ["<h2>performability</h2>", *_performability_section(kept)]
+    body += ["<h2>fault matrix</h2>", *_fault_matrix_section(kept)]
+    body += ["<h2>timelines</h2>", *_timeline_section(kept)]
+    body += ["<h2>detector divergence</h2>", *_divergence_section(kept)]
+    body += ["<h2>run health</h2>", *_health_section(kept)]
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        f"<title>{escape(title)}</title><style>{_CSS}</style></head>"
+        "<body>" + "".join(body) + "</body></html>"
+    )
+
+
+def dashboard_from_store(cache_dir, out_path=None) -> Path:
+    """Render ``cache_dir`` (a campaign DiskStore) to one HTML file.
+
+    Returns the path written (default: ``dashboard.html`` inside the
+    store directory).  Raises :class:`ValueError` when the directory
+    holds no readable cells.
+    """
+    from ..experiments.store import DiskStore
+
+    cache_dir = Path(cache_dir)
+    if not cache_dir.is_dir():
+        raise ValueError(f"{cache_dir}: not a directory")
+    rows = list(DiskStore(cache_dir).iter_cells())
+    if not rows:
+        raise ValueError(f"{cache_dir}: no campaign cells found")
+    html_text = render_dashboard(rows, source=str(cache_dir))
+    out = Path(out_path) if out_path else cache_dir / "dashboard.html"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(html_text, encoding="utf-8")
+    return out

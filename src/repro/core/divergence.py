@@ -1,0 +1,189 @@
+"""Score the online stage detector against the ground-truth fit.
+
+The detector in :mod:`repro.obs.observatory` classifies a run from
+operator-observable signals; :func:`repro.core.extract.extract_profile`
+fits the same run from ground-truth annotations with full hindsight.
+This module quantifies their disagreement per run:
+
+* **boundary errors** — signed online-minus-reference error for each
+  boundary both sides observed (detection, component repair, the end of
+  the post-recovery transient, operator reset);
+* **misclassified duration** — total time the two stage labelings
+  disagree, from a sweep over both interval sets.
+
+The reference intervals are the *observable windows* implied by the
+ground-truth fit (the fit additionally stretches stages C and E to
+environmental durations — MTTR, operator response — which no detector
+watching the run could see; those stretches are a modeling step, not an
+observation, so they are excluded from the comparison).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .extract import (
+    DEFAULT_ENVIRONMENT,
+    Environment,
+    ExperimentRecord,
+    recovery_transient_end,
+)
+
+Interval = list  # [stage, start, end]
+
+
+def _matches_no_impact(record: ExperimentRecord, env: Environment) -> bool:
+    """Mirror of the no-impact early-out in ``extract_profile``."""
+    tl = record.timeline
+    tn = record.normal_throughput
+    t_inj = record.injected_at
+    t_clr = max(record.cleared_at, t_inj)
+    observe_end = min(record.end_time, t_clr + env.transient_window)
+    during = min(tl.mean_rate(t_inj, max(observe_end, t_inj + 1.0)), tn)
+    tail = min(
+        tl.mean_rate(record.end_time - env.steady_window, record.end_time), tn
+    )
+    return (
+        during >= tn * (1 - env.impact_threshold)
+        and tail >= tn * (1 - env.impact_threshold)
+        and record.recovered_fully
+        and record.detection_at is None
+    )
+
+
+def reference_intervals(
+    record: ExperimentRecord, env: Environment = DEFAULT_ENVIRONMENT
+) -> List[Interval]:
+    """``[stage, start, end]`` spans the ground-truth fit implies for the
+    observed run window (same boundary formulas as ``extract_profile``)."""
+    end = record.end_time
+    t_inj = record.injected_at
+    t_clr = max(record.cleared_at, t_inj)
+    if _matches_no_impact(record, env):
+        return [["normal", 0.0, end]]
+
+    W = env.transient_window
+    out: List[Interval] = []
+
+    def add(stage: str, lo: float, hi: float) -> None:
+        lo, hi = max(0.0, lo), min(hi, end)
+        if hi > lo:
+            out.append([stage, lo, hi])
+
+    add("normal", 0.0, t_inj)
+    t_det = record.detection_at
+    if t_det is not None:
+        add("A", t_inj, t_det)
+        b_start = t_inj + min(t_det - t_inj, max(t_clr - t_inj, 0.0))
+        d_b = min(W, max(0.0, t_clr - b_start))
+        add("B", b_start, b_start + d_b)
+        add("C", b_start + d_b, t_clr)
+    else:
+        add("A", t_inj, t_clr)
+
+    # Detection can land *after* the component repair (a node-crash
+    # heartbeat timeout firing once the reboot is already underway); A
+    # runs through detection, so D starts no earlier than A ends.
+    d_start = t_clr if t_det is None or t_det <= t_clr else t_det
+    d_end = recovery_transient_end(record, env)
+    add("D", d_start, d_end)
+
+    if record.reset_at is not None:
+        add("E", d_end, record.reset_at)
+        f_end = min(record.reset_at + W, end)
+        add("F", record.reset_at, f_end)
+        g_end = min(f_end + W, end)
+        add("G", f_end, g_end)
+        add("normal", g_end, end)
+    elif record.recovered_fully:
+        add("normal", d_end, end)
+    else:
+        add("E", d_end, end)
+    return out
+
+
+def _label_at(intervals: List[Interval], t: float) -> Optional[str]:
+    for stage, lo, hi in intervals:
+        if lo <= t < hi:
+            return stage
+    return None
+
+
+def misclassified_duration(
+    online: List[Interval], reference: List[Interval]
+) -> float:
+    """Total time the two labelings disagree (uncovered time counts)."""
+    cuts = sorted(
+        {edge for span in online + reference for edge in (span[1], span[2])}
+    )
+    wrong = 0.0
+    for lo, hi in zip(cuts, cuts[1:]):
+        mid = (lo + hi) / 2
+        if _label_at(online, mid) != _label_at(reference, mid):
+            wrong += hi - lo
+    return wrong
+
+
+def _stage_end(intervals: List[Interval], stage: str) -> Optional[float]:
+    for s, _, hi in intervals:
+        if s == stage:
+            return hi
+    return None
+
+
+def divergence_report(
+    online: dict,
+    record: ExperimentRecord,
+    env: Environment = DEFAULT_ENVIRONMENT,
+) -> dict:
+    """Compare a ``StageDetector.summary()`` against the ground truth.
+
+    ``online`` is the detector's JSON digest (``intervals`` plus the
+    boundary attributes); the result is JSON-ready for per-cell
+    telemetry and the dashboard.
+    """
+    reference = reference_intervals(record, env)
+    online_intervals = [list(span) for span in online.get("intervals", [])]
+    t_clr = max(record.cleared_at, record.injected_at)
+
+    boundaries: Dict[str, dict] = {}
+
+    def compare(label: str, on: Optional[float], ref: Optional[float]) -> None:
+        if on is None and ref is None:
+            return
+        entry: dict = {"online": on, "reference": ref}
+        if on is not None and ref is not None:
+            entry["error"] = on - ref
+        boundaries[label] = entry
+
+    compare("injection", online.get("injected_at"), record.injected_at)
+    compare("detection", online.get("detected_at"), record.detection_at)
+    compare(
+        "repair",
+        online.get("repaired_at"),
+        t_clr if t_clr > record.injected_at else None,
+    )
+    compare(
+        "transient_end",
+        _stage_end(online_intervals, "D"),
+        _stage_end(reference, "D"),
+    )
+    compare("reset", online.get("reset_at"), record.reset_at)
+
+    errors = [
+        abs(entry["error"])
+        for entry in boundaries.values()
+        if "error" in entry
+    ]
+    wrong = misclassified_duration(online_intervals, reference)
+    span = record.end_time if record.end_time > 0 else 1.0
+    online_stages = {s for s, _, _ in online_intervals}
+    reference_stages = {s for s, _, _ in reference}
+    return {
+        "boundaries": boundaries,
+        "max_boundary_error": max(errors) if errors else 0.0,
+        "misclassified_s": wrong,
+        "misclassified_frac": wrong / span,
+        "online_missing": sorted(reference_stages - online_stages),
+        "online_extra": sorted(online_stages - reference_stages),
+    }

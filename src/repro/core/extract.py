@@ -69,7 +69,7 @@ class ExperimentRecord:
     rejoined_at: Optional[float] = None
 
 
-def _sustained_recovery(
+def sustained_recovery(
     tl: Timeline, start: float, end: float, target: float, width: float
 ) -> float:
     """Earliest time in [start, end) after which throughput stays at or
@@ -81,6 +81,46 @@ def _sustained_recovery(
             return t
         t += step
     return end
+
+
+def recovery_transient_end(
+    record: ExperimentRecord, env: Environment = DEFAULT_ENVIRONMENT
+) -> float:
+    """When stage D (the post-recovery transient) ends for ``record``.
+
+    D runs from component recovery until throughput sustainably comes
+    back (which captures e.g. TCP's retransmission-backoff lag after a
+    link repair) or, for rejoining nodes, through the rejoin warm-up.
+    When throughput never sustains — the service is stuck in a
+    sub-normal regime — D is just the brief post-repair transient and
+    everything after it belongs to stage E.  Shared by the profile fit
+    below and the divergence scorer in :mod:`repro.core.divergence`.
+    """
+    tl = record.timeline
+    t_clr = max(record.cleared_at, record.injected_at)
+    horizon = record.reset_at if record.reset_at is not None else record.end_time
+    recovered_at = sustained_recovery(
+        tl,
+        t_clr,
+        horizon,
+        record.normal_throughput * env.recovery_threshold,
+        env.transient_window,
+    )
+    if recovered_at < horizon:
+        d_end = min(recovered_at + env.transient_window, horizon)
+        if record.rejoined_at is not None and record.rejoined_at > t_clr:
+            d_end = max(
+                d_end, min(record.rejoined_at + env.transient_window, horizon)
+            )
+    else:
+        # Never sustainably recovered: the post-repair warm-up toward
+        # the sub-normal plateau is stage D; the *last* steady window
+        # before the horizon characterizes the plateau itself (stage E).
+        d_end = max(
+            min(t_clr + env.transient_window, horizon),
+            horizon - env.steady_window,
+        )
+    return min(d_end, record.end_time)
 
 
 def extract_profile(
@@ -152,35 +192,7 @@ def extract_profile(
             profile = profile.with_stage(Stage.C, d_c, t_c)
 
     # -- stage D: post-recovery transient ---------------------------------
-    # D runs from component recovery until throughput sustainably comes
-    # back (which captures e.g. TCP's retransmission-backoff lag after a
-    # link repair) or, for rejoining nodes, through the rejoin warm-up.
-    # When throughput never sustains — the service is stuck in a
-    # sub-normal regime — D is just the brief post-repair transient and
-    # everything after it belongs to stage E.
-    horizon = record.reset_at if record.reset_at is not None else record.end_time
-    recovered_at = _sustained_recovery(
-        tl,
-        t_clr,
-        horizon,
-        tn * env.recovery_threshold,
-        env.transient_window,
-    )
-    if recovered_at < horizon:
-        d_end = min(recovered_at + env.transient_window, horizon)
-        if record.rejoined_at is not None and record.rejoined_at > t_clr:
-            d_end = max(
-                d_end, min(record.rejoined_at + env.transient_window, horizon)
-            )
-    else:
-        # Never sustainably recovered: the post-repair warm-up toward
-        # the sub-normal plateau is stage D; the *last* steady window
-        # before the horizon characterizes the plateau itself (stage E).
-        d_end = max(
-            min(t_clr + env.transient_window, horizon),
-            horizon - env.steady_window,
-        )
-    d_end = min(d_end, record.end_time)
+    d_end = recovery_transient_end(record, env)
     d_d = max(0.0, d_end - t_clr)
     if d_d > 0:
         profile = profile.with_stage(Stage.D, d_d, rate(t_clr, d_end))

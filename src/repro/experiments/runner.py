@@ -64,6 +64,22 @@ def cell_seed(
 # ----------------------------------------------------------------------
 
 
+def _timeline_payload(
+    series, bucket_width: float, availability: float, tn: float
+) -> dict:
+    """Compact JSON-ready timeline for the campaign dashboard.
+
+    Rates are in paper units (req/s after ``report_factor`` scaling) and
+    rounded — the dashboard draws pixels, not statistics.
+    """
+    return {
+        "series": [[t, round(rate, 3)] for t, rate in series],
+        "bucket_width": bucket_width,
+        "availability": round(availability, 6),
+        "tn": round(tn, 3),
+    }
+
+
 def _baseline_cell(
     version: str,
     settings: Phase1Settings,
@@ -72,21 +88,41 @@ def _baseline_cell(
 ) -> dict:
     from ..obs.bus import EventRecorder
     from ..obs.exporters import telemetry_summary
+    from ..obs.observatory import Observatory
     from .phase1 import run_baseline
 
     cell_settings = dataclasses.replace(settings, seed=seed)
-    recorder = EventRecorder(keep_events=trace is not None)
+    obs = Observatory(
+        recorder=EventRecorder(keep_events=trace is not None),
+        env=settings.environment,
+    )
     start = time.perf_counter()
     tn, cluster = run_baseline(
-        ALL_VERSIONS_EXTENDED[version], cell_settings, recorder=recorder
+        ALL_VERSIONS_EXTENDED[version], cell_settings, recorder=obs
     )
+    obs.finish(cluster)
+    end = cell_settings.warm + cell_settings.fault_at
     payload = {
         "kind": "baseline",
         "tn": tn,
         "elapsed": time.perf_counter() - start,
-        "telemetry": telemetry_summary(recorder, cluster.metrics),
+        "telemetry": telemetry_summary(
+            obs.recorder, cluster.metrics, bus=cluster.bus
+        ),
+        "observatory": obs.summary(),
+        "timeline": _timeline_payload(
+            [
+                (t, rate * cluster.scale.report_factor)
+                for t, rate in cluster.monitor.series(0.0, end)
+            ],
+            cluster.monitor.bucket_width,
+            cluster.monitor.availability(),
+            tn,
+        ),
     }
-    _export_cell_trace(recorder, trace, version=version, fault=None, seed=seed)
+    _export_cell_trace(
+        obs.recorder, trace, version=version, fault=None, seed=seed
+    )
     return payload
 
 
@@ -97,14 +133,19 @@ def _fault_cell(
     seed: int,
     trace: Optional[tuple] = None,
 ) -> dict:
+    from ..core.divergence import divergence_report
     from ..core.extract import extract_profile
     from ..obs.bus import EventRecorder
     from ..obs.exporters import telemetry_summary
+    from ..obs.observatory import Observatory
     from .phase1 import run_single_fault
 
     kind = FaultKind(fault_value)
     cell_settings = dataclasses.replace(settings, seed=seed)
-    recorder = EventRecorder(keep_events=trace is not None)
+    obs = Observatory(
+        recorder=EventRecorder(keep_events=trace is not None),
+        env=settings.environment,
+    )
     start = time.perf_counter()
     # The cell measures its *own* pre-injection throughput as Tn.  The
     # extraction thresholds (impact/recovery, a few percent of Tn) need
@@ -113,8 +154,9 @@ def _fault_cell(
     # serial path got this correlation implicitly by running baseline
     # and faults under one seed per replication.)
     record, cluster = run_single_fault(
-        ALL_VERSIONS_EXTENDED[version], kind, cell_settings, recorder=recorder
+        ALL_VERSIONS_EXTENDED[version], kind, cell_settings, recorder=obs
     )
+    obs.finish(cluster)
     profile = extract_profile(
         record, mttr=FAULT_MTTR[kind], env=settings.environment
     )
@@ -122,10 +164,22 @@ def _fault_cell(
         "kind": "profile",
         "profile": profile.to_dict(),
         "elapsed": time.perf_counter() - start,
-        "telemetry": telemetry_summary(recorder, cluster.metrics),
+        "telemetry": telemetry_summary(
+            obs.recorder, cluster.metrics, bus=cluster.bus
+        ),
+        "observatory": obs.summary(),
+        "divergence": divergence_report(
+            obs.detector.summary(), record, settings.environment
+        ),
+        "timeline": _timeline_payload(
+            record.timeline.series,
+            record.timeline.bucket_width,
+            record.timeline.availability,
+            record.normal_throughput,
+        ),
     }
     _export_cell_trace(
-        recorder, trace, version=version, fault=fault_value, seed=seed
+        obs.recorder, trace, version=version, fault=fault_value, seed=seed
     )
     return payload
 
@@ -450,6 +504,19 @@ class CampaignRunner:
             out[version] = profiles
 
         report.notices.extend(self.store.drain_notices())
+        errors = 0
+        error_cells = 0
+        for rec in report.cells:
+            n = (rec.telemetry or {}).get("subscriber_errors", 0)
+            if n:
+                errors += n
+                error_cells += 1
+        if errors:
+            report.notices.append(
+                f"{errors} bus subscriber error(s) across {error_cells} "
+                "cell(s) — observers saw a partial event stream "
+                "(bus.subscriber_errors)"
+            )
         report.wall_clock = time.perf_counter() - started
         return out, report
 

@@ -35,7 +35,11 @@ from typing import Dict, Optional, Tuple, Union
 #:   v1 — original payload shape ({"kind", "tn"/"profile", "elapsed"}).
 #:   v2 — payloads carry a per-cell "telemetry" summary (event counts +
 #:        metrics registry snapshot) recorded by the obs subsystem.
-SCHEMA_VERSION = 2
+#:   v3 — payloads carry the observatory digest ("observatory": online
+#:        stage transitions + SLO health), the detector-vs-ground-truth
+#:        "divergence" report (fault cells), a compact "timeline" for
+#:        the campaign dashboard, and telemetry "subscriber_errors".
+SCHEMA_VERSION = 3
 
 #: Environment variable consulted by the CLI for a default cache dir.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -195,6 +199,31 @@ class DiskStore(ResultStore):
         ]
         self._stale_schema_hits = {}
         return notices
+
+    def iter_cells(self):
+        """Yield ``(key_info, payload)`` for every readable cached cell.
+
+        ``key_info`` is the JSON key dict written by :meth:`put`
+        (version / fault / seed / schema).  Unreadable or foreign files
+        are skipped — this is a reporting walk (the campaign dashboard),
+        not a cache lookup, so it must tolerate a dirty directory.
+        """
+        for shard in sorted(self.cache_dir.iterdir()):
+            if not shard.is_dir():
+                continue
+            for cell in sorted(shard.glob("*.json")):
+                try:
+                    with open(cell, "r", encoding="utf-8") as fh:
+                        data = json.load(fh)
+                except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                    continue
+                if (
+                    not isinstance(data, dict)
+                    or "payload" not in data
+                    or "key" not in data
+                ):
+                    continue
+                yield data["key"], data["payload"]
 
     def clear(self) -> None:
         """Remove every cached cell (the directory itself is kept)."""

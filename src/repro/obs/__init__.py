@@ -17,6 +17,13 @@ measurement substrate of the reproduction:
   ``trace_event`` JSON (loadable in Perfetto / ``chrome://tracing``), and
   summarize it into the compact per-cell telemetry dict the campaign
   result store persists.
+* :mod:`repro.obs.observatory` — the *online* side: a passive
+  :class:`~repro.obs.observatory.StageDetector` that classifies a run
+  into the paper's stages A–G live from operator-observable signals, a
+  :class:`~repro.obs.observatory.HealthWatchdog` that tracks rolling
+  throughput/availability SLOs, and the
+  :class:`~repro.obs.observatory.Observatory` bundle campaign cells
+  attach to every run.
 
 See ``OBSERVABILITY.md`` at the repo root for the taxonomy, the naming
 convention, and how to open a trace in Perfetto.
@@ -55,3 +62,25 @@ __all__ = [
     "write_chrome_trace",
     "write_events_jsonl",
 ]
+
+#: Observatory symbols resolve lazily (PEP 562): the observatory module
+#: pulls stage-model types from ``repro.core``, which itself imports
+#: ``repro.sim.monitor`` → ``repro.obs.events`` — an eager import here
+#: would close that loop while this package is still initializing.
+_OBSERVATORY_EXPORTS = (
+    "DEFAULT_SLO",
+    "HealthWatchdog",
+    "Observatory",
+    "SLOConfig",
+    "StageDetector",
+    "StageTransition",
+)
+__all__ += list(_OBSERVATORY_EXPORTS)
+
+
+def __getattr__(name):
+    if name in _OBSERVATORY_EXPORTS:
+        from . import observatory
+
+        return getattr(observatory, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -66,6 +66,29 @@ FAULT_CLEARED = "fault.injector.cleared"
 NODE_CRASH = "osim.node.crash"
 #: The machine came back after ``reboot_time``.  Fields: (none).
 NODE_REBOOT = "osim.node.reboot"
+#: A supervised process terminated (crash, fail-fast, kill, reset).
+#: Fields: reason, incarnation.
+PROCESS_EXIT = "osim.process.exit"
+#: The restart daemon brought a dead process back (incarnation >= 2;
+#: the initial start is not published).  Fields: incarnation.
+PROCESS_RESTART = "osim.process.restart"
+
+# -- measurement stream -------------------------------------------------
+#: A throughput bucket closed: simulation time advanced past its end.
+#: Published lazily by :class:`~repro.sim.monitor.ThroughputMonitor`
+#: (on the completion that opens a later bucket, and at ``flush``), so
+#: subscribing cannot perturb the run.  Fields: start, ok, failed, width.
+MONITOR_BUCKET = "sim.monitor.bucket"
+
+# -- observatory (emitted by obs.observatory subscribers) ---------------
+#: The online stage detector reclassified the run.  Fields: stage, prev,
+#: at (the boundary's logical time), trigger.
+OBS_STAGE_TRANSITION = "obs.stage.transition"
+#: The run-health watchdog found an SLO violation.  Fields: reason,
+#: throughput, availability, floor.
+OBS_HEALTH_DEGRADED = "obs.health.degraded"
+#: The watchdog saw the SLO satisfied again.  Fields: violated_for.
+OBS_HEALTH_RESTORED = "obs.health.restored"
 
 # -- timeline annotations ----------------------------------------------
 #: The unified timeline instant (fault-injected, reconfigured, fail-fast,
@@ -97,6 +120,12 @@ TAXONOMY = {
     FAULT_CLEARED: "fault active period ended",
     NODE_CRASH: "machine hard reboot began",
     NODE_REBOOT: "machine back up",
+    PROCESS_EXIT: "supervised process terminated",
+    PROCESS_RESTART: "restart daemon revived a process",
+    MONITOR_BUCKET: "throughput bucket closed",
+    OBS_STAGE_TRANSITION: "online detector reclassified the run",
+    OBS_HEALTH_DEGRADED: "SLO violation began",
+    OBS_HEALTH_RESTORED: "SLO satisfied again",
     ANNOTATION: "named timeline instant",
 }
 

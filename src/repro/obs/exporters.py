@@ -266,13 +266,22 @@ def validate_trace_dir(trace_dir) -> Dict[str, int]:
 
 
 def telemetry_summary(
-    recorder: Optional[EventRecorder], metrics=None
+    recorder: Optional[EventRecorder], metrics=None, bus=None
 ) -> dict:
-    """The compact per-run telemetry dict stored with each campaign cell."""
+    """The compact per-run telemetry dict stored with each campaign cell.
+
+    When the run's event ``bus`` is supplied, the summary also records
+    ``subscriber_errors`` — the count of subscriber callbacks that raised
+    (and were isolated) during the run.  A non-zero count means some
+    observer silently saw a partial event stream, so the campaign runner
+    surfaces it as a run notice.
+    """
     out: dict = {
         "event_total": recorder.total if recorder is not None else 0,
         "events": dict(sorted(recorder.counts.items())) if recorder is not None else {},
     }
+    if bus is not None:
+        out["subscriber_errors"] = bus.subscriber_errors
     if metrics is not None:
         out["metrics"] = metrics.summary()
     return out

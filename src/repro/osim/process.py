@@ -11,6 +11,7 @@ from __future__ import annotations
 import enum
 from typing import Callable, List, Optional
 
+from ..obs.events import PROCESS_EXIT, PROCESS_RESTART
 from ..sim.engine import Engine
 
 
@@ -44,6 +45,11 @@ class SimProcess:
         self.on_start: List[Callable[[], None]] = []
         self.death_reason: Optional[str] = None
 
+    def _publish(self, name: str, **fields) -> None:
+        bus = getattr(self.engine, "bus", None)
+        if bus is not None:
+            bus.publish(name, node=self.name, **fields)
+
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> None:
         if self.state is not ProcessState.DEAD:
@@ -51,6 +57,8 @@ class SimProcess:
         self.state = ProcessState.RUNNING
         self.incarnation += 1
         self.death_reason = None
+        if self.incarnation > 1:
+            self._publish(PROCESS_RESTART, incarnation=self.incarnation)
         for hook in list(self.on_start):
             hook()
 
@@ -60,6 +68,7 @@ class SimProcess:
             return
         self.state = ProcessState.DEAD
         self.death_reason = reason
+        self._publish(PROCESS_EXIT, reason=reason, incarnation=self.incarnation)
         for hook in list(self.on_death):
             hook(reason)
 

@@ -14,7 +14,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..obs.events import ANNOTATION
+from ..obs.events import ANNOTATION, MONITOR_BUCKET
 from ..obs.metrics import bound_counter
 from .engine import Engine
 
@@ -94,6 +94,15 @@ class ThroughputMonitor:
     current simulation time.  ``series`` converts the bins into
     (bucket_start, requests_per_second) pairs — the exact data behind the
     paper's timeline figures.
+
+    When the engine carries an event bus, every *closed* bucket is also
+    published as a ``sim.monitor.bucket`` event, so live subscribers (the
+    online stage detector, the health watchdog) see the same stream the
+    post-hoc series is built from.  Publication is lazy — a bucket is
+    emitted on the first completion that lands in a *later* bucket, and
+    stall gaps are emitted as explicit zero buckets — so no timer is ever
+    scheduled and observation cannot perturb the run.  ``flush`` emits
+    the remaining closed buckets at end of run.
     """
 
     def __init__(self, engine: Engine, bucket_width: float = 1.0):
@@ -103,6 +112,7 @@ class ThroughputMonitor:
         self.bucket_width = bucket_width
         self._ok: Dict[int, int] = {}
         self._failed: Dict[int, int] = {}
+        self._pub_next = int(engine.now / bucket_width)
         self._total_ok = bound_counter(engine, "sim.monitor.requests_ok")
         self._total_failed = bound_counter(engine, "sim.monitor.requests_failed")
 
@@ -117,13 +127,40 @@ class ThroughputMonitor:
     def _bucket(self) -> int:
         return int(self.engine.now / self.bucket_width)
 
+    def _publish_through(self, b: int) -> None:
+        """Publish every closed bucket in [_pub_next, b) on the bus."""
+        bus = getattr(self.engine, "bus", None)
+        if bus is not None:
+            width = self.bucket_width
+            for i in range(self._pub_next, b):
+                bus.publish(
+                    MONITOR_BUCKET,
+                    start=i * width,
+                    ok=self._ok.get(i, 0),
+                    failed=self._failed.get(i, 0),
+                    width=width,
+                )
+        self._pub_next = b
+
+    def flush(self, end: Optional[float] = None) -> None:
+        """Publish every bucket fully closed at ``end`` (default: now)."""
+        if end is None:
+            end = self.engine.now
+        b = int(end / self.bucket_width)
+        if b > self._pub_next:
+            self._publish_through(b)
+
     def success(self, n: int = 1) -> None:
         b = self._bucket()
+        if b > self._pub_next:
+            self._publish_through(b)
         self._ok[b] = self._ok.get(b, 0) + n
         self._total_ok.inc(n)
 
     def failure(self, n: int = 1) -> None:
         b = self._bucket()
+        if b > self._pub_next:
+            self._publish_through(b)
         self._failed[b] = self._failed.get(b, 0) + n
         self._total_failed.inc(n)
 

@@ -1,0 +1,220 @@
+"""Unit tests for the detector-vs-ground-truth divergence scorer.
+
+These are synthetic: hand-built timelines and records pin the reference
+interval construction, the misclassified-duration sweep, and the report
+arithmetic without running any simulation (the end-to-end agreement on
+real runs is asserted in ``tests/obs/test_observatory.py``).
+"""
+
+import pytest
+
+from repro.core.divergence import (
+    divergence_report,
+    misclassified_duration,
+    reference_intervals,
+)
+from repro.core.extract import DEFAULT_ENVIRONMENT, ExperimentRecord
+from repro.sim.monitor import Timeline
+
+
+def _timeline(rates, width=1.0):
+    return Timeline(
+        version="V",
+        fault="f",
+        bucket_width=width,
+        series=[(i * width, float(r)) for i, r in enumerate(rates)],
+        normal_throughput=10.0,
+    )
+
+
+def _record(**overrides):
+    """A canonical impactful run: Tn=10, inject at 30, repair at 70,
+    degraded to 2 in between, instant recovery afterwards, end at 130."""
+    rates = [10.0] * 30 + [2.0] * 40 + [10.0] * 60
+    defaults = dict(
+        version="V",
+        fault="f",
+        timeline=_timeline(rates),
+        normal_throughput=10.0,
+        injected_at=30.0,
+        cleared_at=70.0,
+        end_time=130.0,
+        detection_at=30.5,
+        recovered_fully=True,
+    )
+    defaults.update(overrides)
+    return ExperimentRecord(**defaults)
+
+
+# ----------------------------------------------------------------------
+# reference_intervals
+# ----------------------------------------------------------------------
+
+
+def _assert_contiguous(spans, end):
+    assert spans[0][1] == 0.0
+    assert spans[-1][2] == end
+    for prev, nxt in zip(spans, spans[1:]):
+        assert prev[2] == pytest.approx(nxt[1]), (prev, nxt)
+
+
+def test_reference_intervals_cover_the_run_in_order():
+    spans = reference_intervals(_record())
+    _assert_contiguous(spans, 130.0)
+    W = DEFAULT_ENVIRONMENT.transient_window
+    assert spans == [
+        ["normal", 0.0, 30.0],
+        ["A", 30.0, 30.5],
+        ["B", 30.5, 30.5 + W],
+        ["C", 30.5 + W, 70.0],
+        ["D", 70.0, 70.0 + W],
+        ["normal", 70.0 + W, 130.0],
+    ]
+
+
+def test_detection_after_repair_keeps_a_and_d_disjoint():
+    """A heartbeat timeout can fire after the reboot is already underway:
+    stage A runs through the late detection and D starts where A ends."""
+    spans = reference_intervals(_record(detection_at=75.0))
+    _assert_contiguous(spans, 130.0)
+    stages = [s for s, _, _ in spans]
+    assert stages == ["normal", "A", "D", "normal"]
+    a = next(span for span in spans if span[0] == "A")
+    d = next(span for span in spans if span[0] == "D")
+    assert a[2] == 75.0 and d[1] == 75.0
+
+
+def test_undetected_run_has_a_until_repair():
+    spans = reference_intervals(_record(detection_at=None))
+    stages = [s for s, _, _ in spans]
+    assert stages == ["normal", "A", "D", "normal"]
+    a = next(span for span in spans if span[0] == "A")
+    assert (a[1], a[2]) == (30.0, 70.0)
+
+
+def test_no_impact_run_is_all_normal():
+    record = _record(
+        timeline=_timeline([10.0] * 130), detection_at=None
+    )
+    assert reference_intervals(record) == [["normal", 0.0, 130.0]]
+
+
+def test_operator_reset_produces_e_f_g():
+    record = _record(
+        timeline=_timeline([10.0] * 30 + [2.0] * 100),
+        reset_at=100.0,
+        recovered_fully=False,
+    )
+    spans = reference_intervals(record)
+    _assert_contiguous(spans, 130.0)
+    W = DEFAULT_ENVIRONMENT.transient_window
+    assert [s for s, _, _ in spans] == [
+        "normal", "A", "B", "C", "D", "E", "F", "G", "normal",
+    ]
+    f = next(span for span in spans if span[0] == "F")
+    g = next(span for span in spans if span[0] == "G")
+    assert f == ["F", 100.0, 100.0 + W]
+    assert g == ["G", 100.0 + W, 100.0 + 2 * W]
+
+
+def test_never_recovered_run_ends_in_e():
+    record = _record(
+        timeline=_timeline([10.0] * 30 + [2.0] * 100),
+        recovered_fully=False,
+    )
+    spans = reference_intervals(record)
+    assert spans[-1][0] == "E"
+    assert spans[-1][2] == 130.0
+
+
+# ----------------------------------------------------------------------
+# misclassified_duration
+# ----------------------------------------------------------------------
+
+
+def test_identical_labelings_have_zero_disagreement():
+    spans = [["normal", 0.0, 10.0], ["A", 10.0, 20.0]]
+    assert misclassified_duration(spans, [list(s) for s in spans]) == 0.0
+
+
+def test_shifted_boundary_counts_its_offset():
+    online = [["normal", 0.0, 12.0], ["A", 12.0, 20.0]]
+    reference = [["normal", 0.0, 10.0], ["A", 10.0, 20.0]]
+    assert misclassified_duration(online, reference) == pytest.approx(2.0)
+
+
+def test_uncovered_time_counts_as_disagreement():
+    online = [["A", 0.0, 10.0]]
+    reference = [["A", 0.0, 10.0], ["B", 10.0, 15.0]]
+    assert misclassified_duration(online, reference) == pytest.approx(5.0)
+
+
+# ----------------------------------------------------------------------
+# divergence_report
+# ----------------------------------------------------------------------
+
+
+def _online_from(spans, record):
+    return {
+        "intervals": [list(s) for s in spans],
+        "injected_at": record.injected_at,
+        "detected_at": record.detection_at,
+        "repaired_at": max(record.cleared_at, record.injected_at),
+        "reset_at": record.reset_at,
+    }
+
+
+def test_perfect_online_summary_scores_zero():
+    record = _record()
+    report = divergence_report(
+        _online_from(reference_intervals(record), record), record
+    )
+    assert report["max_boundary_error"] == 0.0
+    assert report["misclassified_s"] == 0.0
+    assert report["misclassified_frac"] == 0.0
+    assert report["online_missing"] == []
+    assert report["online_extra"] == []
+    for entry in report["boundaries"].values():
+        assert entry["error"] == 0.0
+
+
+def test_boundary_errors_are_signed_online_minus_reference():
+    record = _record()
+    spans = reference_intervals(record)
+    online = _online_from(spans, record)
+    online["detected_at"] = record.detection_at + 0.5
+    d = next(span for span in online["intervals"] if span[0] == "D")
+    d[2] += 2.0  # the online D ran two seconds long
+    report = divergence_report(online, record)
+    assert report["boundaries"]["detection"]["error"] == pytest.approx(0.5)
+    assert report["boundaries"]["transient_end"]["error"] == pytest.approx(2.0)
+    assert report["max_boundary_error"] == pytest.approx(2.0)
+    assert report["misclassified_s"] > 0.0
+
+
+def test_one_sided_boundaries_have_no_error_entry():
+    record = _record()
+    online = _online_from(reference_intervals(record), record)
+    online["detected_at"] = None  # the detector missed it
+    report = divergence_report(online, record)
+    entry = report["boundaries"]["detection"]
+    assert entry["online"] is None
+    assert entry["reference"] == record.detection_at
+    assert "error" not in entry
+    # ...and a boundary neither side observed is absent entirely.
+    assert "reset" not in report["boundaries"]
+
+
+def test_missing_and_extra_stages_are_reported():
+    record = _record()
+    online = _online_from(
+        [
+            ["normal", 0.0, 30.0],
+            ["A", 30.0, 70.0],
+            ["E", 70.0, 130.0],  # never saw B/C/D, invented a plateau
+        ],
+        record,
+    )
+    report = divergence_report(online, record)
+    assert report["online_missing"] == ["B", "C", "D"]
+    assert report["online_extra"] == ["E"]

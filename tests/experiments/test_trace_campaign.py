@@ -86,6 +86,22 @@ def test_tracing_bypasses_the_cache(tmp_path):
     validate_trace_dir(tmp_path / "traces")
 
 
+def test_traced_results_still_persist_for_warm_replay(tmp_path):
+    """Tracing forces execution but not amnesia: the traced cells land in
+    the store, so the next un-traced campaign replays entirely warm and
+    agrees bit-for-bit."""
+    store = DiskStore(tmp_path / "cache")
+    traced_sets, traced = _run(
+        store=store, trace_dir=str(tmp_path / "traces"), trace_format="jsonl"
+    )
+    assert all(not c.cached for c in traced.cells)
+    assert len(store) == len(traced.cells)
+    warm_sets, warm = _run(store=store)
+    assert all(c.cached for c in warm.cells)
+    assert warm.executed == 0
+    assert warm_sets["TCP-PRESS"].to_dict() == traced_sets["TCP-PRESS"].to_dict()
+
+
 def test_schema_notice_reaches_the_report(tmp_path):
     from repro.experiments.runner import cell_seed
 

@@ -1,0 +1,448 @@
+"""The online observatory: stage detector + health watchdog.
+
+The synthetic tests drive a :class:`StageDetector`/:class:`HealthWatchdog`
+through hand-built event sequences on a fake clock, so every transition
+rule is pinned independently of the simulation.  The golden-case tests
+then run the real smoke simulations and assert the acceptance contract:
+every event-driven stage boundary the detector can observe lands within
+one monitor bucket of the ground-truth fit, and attaching an observatory
+does not change the run (bit-for-bit passivity).
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.divergence import divergence_report
+from repro.core.extract import DEFAULT_ENVIRONMENT, extract_profile
+from repro.experiments.phase1 import run_single_fault
+from repro.experiments.settings import FAULT_MTTR
+from repro.obs.bus import EventBus
+from repro.obs.events import (
+    ANNOTATION,
+    FAULT_CLEARED,
+    FAULT_INJECTED,
+    MEMBERSHIP_EXCLUDE,
+    MEMBERSHIP_JOINED,
+    OBS_HEALTH_DEGRADED,
+    OBS_HEALTH_RESTORED,
+    OBS_STAGE_TRANSITION,
+    PROCESS_EXIT,
+    PROCESS_RESTART,
+)
+from repro.obs.observatory import (
+    HealthWatchdog,
+    Observatory,
+    SLOConfig,
+    StageDetector,
+)
+from repro.press.config import ALL_VERSIONS_EXTENDED
+
+from .test_determinism import GOLDEN_CASES, GOLDEN_DIR, GOLDEN_SETTINGS
+
+#: Small windows keep the synthetic scenarios short: transients settle in
+#: 4 s, plateaus in 8 s, with 1 s monitor buckets throughout.
+ENV = dataclasses.replace(
+    DEFAULT_ENVIRONMENT, transient_window=4.0, steady_window=8.0
+)
+
+
+class _Clock:
+    """Just enough engine for an EventBus: a settable ``now``."""
+
+    def __init__(self):
+        self.now = 0.0
+
+
+class _Harness:
+    def __init__(self, env=ENV):
+        self.clock = _Clock()
+        self.bus = EventBus(self.clock)
+        self.detector = StageDetector(env=env).attach(self.bus)
+
+    def at(self, time, name, **fields):
+        self.clock.now = time
+        self.bus.publish(name, **fields)
+
+    def bucket(self, start, rate, failed=0.0, width=1.0):
+        """One closed monitor bucket; the clock sits at its end."""
+        self.clock.now = start + width
+        self.bus.publish(
+            "sim.monitor.bucket",
+            start=start,
+            ok=rate * width,
+            failed=failed,
+            width=width,
+        )
+
+    def buckets(self, start, end, rate, **kw):
+        t = start
+        while t < end:
+            self.bucket(t, rate, **kw)
+            t += 1.0
+
+    def warm(self, rate=10.0, until=10.0):
+        """Calibrate a normal-throughput estimate, then inject at ``until``."""
+        self.buckets(0.0, until, rate)
+        self.at(until, FAULT_INJECTED, kind="link-down")
+        return self
+
+    def stages(self):
+        return [t.stage for t in self.detector.transitions]
+
+
+# ----------------------------------------------------------------------
+# StageDetector: transition rules
+# ----------------------------------------------------------------------
+
+
+def test_normal_run_never_transitions():
+    h = _Harness()
+    h.buckets(0.0, 20.0, 10.0)
+    h.detector.finalize(20.0)
+    assert h.detector.stage == "normal"
+    assert h.detector.transitions == []
+    assert h.detector.tn_estimate == pytest.approx(10.0)
+    assert h.detector.intervals() == [["normal", 0.0, 20.0]]
+
+
+def test_injection_opens_stage_a_and_freezes_tn():
+    h = _Harness().warm()
+    assert h.detector.stage == "A"
+    assert h.detector.injected_at == 10.0
+    tn = h.detector.tn_estimate
+    h.buckets(10.0, 14.0, 2.0)  # degraded traffic must not move Tn
+    assert h.detector.tn_estimate == tn
+    assert h.detector.impact_observed
+
+
+def test_membership_exclude_is_detection():
+    h = _Harness().warm()
+    h.at(10.5, MEMBERSHIP_EXCLUDE, peer="n1")
+    assert h.detector.stage == "B"
+    assert h.detector.detected_at == 10.5
+
+
+def test_fail_fast_exit_is_detection_but_plain_exit_is_not():
+    h = _Harness().warm()
+    h.at(10.4, PROCESS_EXIT, reason="crash")
+    assert h.detector.stage == "A"  # a crash the service hasn't seen yet
+    h.at(10.8, PROCESS_EXIT, reason="fail-fast:null-pointer")
+    assert h.detector.stage == "B"
+    assert h.detector.detected_at == 10.8
+
+
+def test_transient_window_advances_b_to_c():
+    h = _Harness().warm()
+    h.at(10.5, MEMBERSHIP_EXCLUDE, peer="n1")
+    h.buckets(11.0, 16.0, 2.0)
+    assert h.detector.stage == "C"
+    # The boundary is clock-driven: exactly detection + W, not the event
+    # that happened to advance the clock past it.
+    c_entry = [t for t in h.detector.transitions if t.stage == "C"][0]
+    assert c_entry.time == pytest.approx(10.5 + ENV.transient_window)
+
+
+def test_repair_opens_stage_d():
+    h = _Harness().warm()
+    h.at(10.5, MEMBERSHIP_EXCLUDE, peer="n1")
+    h.at(20.0, FAULT_CLEARED, kind="link-down")
+    assert h.detector.stage == "D"
+    assert h.detector.repaired_at == 20.0
+
+
+def test_repair_signals_at_or_before_injection_are_ignored():
+    h = _Harness()
+    h.buckets(0.0, 10.0, 10.0)
+    h.at(5.0, FAULT_CLEARED, kind="link-down")  # no fault yet
+    assert h.detector.stage == "normal"
+    h.at(10.0, FAULT_INJECTED, kind="link-down")
+    h.at(10.0, FAULT_CLEARED, kind="link-down")  # same instant: not a repair
+    assert h.detector.stage == "A"
+
+
+def test_sustained_recovery_returns_to_normal():
+    h = _Harness().warm()
+    h.at(10.5, MEMBERSHIP_EXCLUDE, peer="n1")
+    h.buckets(11.0, 20.0, 2.0)
+    h.at(20.0, FAULT_CLEARED, kind="link-down")
+    h.buckets(20.0, 26.0, 10.0)
+    assert h.detector.stage == "normal"
+    last = h.detector.transitions[-1]
+    assert last.trigger == "sustained-recovery"
+    assert last.time == pytest.approx(20.0 + ENV.transient_window)
+
+
+def test_rejoin_extends_the_post_repair_transient():
+    h = _Harness().warm()
+    h.at(10.5, MEMBERSHIP_EXCLUDE, peer="n1")
+    h.at(20.0, FAULT_CLEARED, kind="link-down")
+    h.at(21.0, MEMBERSHIP_JOINED, peer="n1")
+    h.buckets(20.0, 30.0, 10.0)
+    last = h.detector.transitions[-1]
+    assert last.stage == "normal"
+    assert last.time >= 21.0 + ENV.transient_window
+
+
+def test_post_repair_death_reverts_to_b_until_the_next_repair():
+    """Bad-param shape: the fault 'clears' before the fail-fast it causes."""
+    h = _Harness().warm()
+    h.at(10.1, FAULT_CLEARED, kind="bad-param")  # interposer fired: D
+    assert h.detector.stage == "D"
+    h.at(10.3, PROCESS_EXIT, reason="fail-fast:null-pointer")
+    assert h.detector.stage == "B"
+    assert h.detector.detected_at == 10.3
+    h.at(12.0, PROCESS_RESTART, proc="server-n1")
+    assert h.detector.stage == "D"
+    assert h.detector.repaired_at == 12.0
+    h.buckets(12.0, 18.0, 10.0)
+    assert h.detector.stage == "normal"
+
+
+def test_stable_subnormal_plateau_enters_e_then_escapes():
+    h = _Harness().warm()
+    h.at(10.5, MEMBERSHIP_EXCLUDE, peer="n1")
+    h.at(20.0, FAULT_CLEARED, kind="link-down")
+    h.buckets(20.0, 28.0, 5.0)  # half throughput, dead flat
+    assert h.detector.stage == "E"
+    e_entry = [t for t in h.detector.transitions if t.stage == "E"][0]
+    assert e_entry.trigger == "stable-subnormal"
+    h.buckets(28.0, 32.0, 10.0)  # the service heals after all
+    assert h.detector.stage == "normal"
+
+
+def test_slow_ramp_stays_in_d():
+    """A recovering ramp is a transient, not a stage-E plateau."""
+    h = _Harness().warm()
+    h.at(10.5, MEMBERSHIP_EXCLUDE, peer="n1")
+    h.at(20.0, FAULT_CLEARED, kind="link-down")
+    rate = 3.0
+    for t in range(20, 28):
+        h.bucket(float(t), rate)
+        rate += 0.7  # halves of the steady window disagree
+    assert h.detector.stage == "D"
+
+
+def test_operator_reset_walks_f_g_normal():
+    h = _Harness().warm()
+    h.at(10.5, MEMBERSHIP_EXCLUDE, peer="n1")
+    h.at(20.0, FAULT_CLEARED, kind="link-down")
+    h.buckets(20.0, 28.0, 5.0)
+    assert h.detector.stage == "E"
+    h.at(30.0, ANNOTATION, label="operator-reset")
+    assert h.detector.stage == "F"
+    assert h.detector.reset_at == 30.0
+    h.detector.finalize(60.0)
+    assert h.detector.stage == "normal"
+    times = {t.stage: t.time for t in h.detector.transitions}
+    assert times["G"] == pytest.approx(30.0 + ENV.transient_window)
+
+
+def test_transitions_are_published_on_the_bus():
+    h = _Harness()
+    seen = []
+    h.bus.subscribe(seen.append, names=[OBS_STAGE_TRANSITION])
+    h.warm()
+    h.at(10.5, MEMBERSHIP_EXCLUDE, peer="n1")
+    assert [e.fields["stage"] for e in seen] == ["A", "B"]
+    assert seen[-1].fields["prev"] == "A"
+    assert seen[-1].fields["trigger"] == MEMBERSHIP_EXCLUDE
+
+
+def test_intervals_are_contiguous_and_summary_is_json_ready():
+    h = _Harness().warm()
+    h.at(10.5, MEMBERSHIP_EXCLUDE, peer="n1")
+    h.buckets(11.0, 20.0, 2.0)
+    h.at(20.0, FAULT_CLEARED, kind="link-down")
+    h.buckets(20.0, 26.0, 10.0)
+    h.detector.finalize(30.0)
+    spans = h.detector.intervals()
+    assert spans[0][1] == 0.0 and spans[-1][2] == 30.0
+    for prev, nxt in zip(spans, spans[1:]):
+        assert prev[2] == nxt[1]  # no gaps, no overlaps
+    assert [s for s, _, _ in spans] == ["normal", "A", "B", "C", "D", "normal"]
+    json.dumps(h.detector.summary())  # must round-trip to the store
+
+
+def test_a_second_fault_restarts_the_classification():
+    h = _Harness().warm()
+    h.at(10.5, MEMBERSHIP_EXCLUDE, peer="n1")
+    h.at(20.0, FAULT_CLEARED, kind="link-down")
+    h.buckets(20.0, 26.0, 10.0)
+    assert h.detector.stage == "normal"
+    h.at(40.0, FAULT_INJECTED, kind="node-crash")
+    assert h.detector.stage == "A"
+    assert h.detector.injected_at == 40.0
+    assert h.detector.detected_at is None
+    assert h.detector.repaired_at is None
+
+
+# ----------------------------------------------------------------------
+# HealthWatchdog
+# ----------------------------------------------------------------------
+
+SLO = SLOConfig(
+    throughput_floor=0.8, availability_floor=0.95, window=4.0, calibration=4.0
+)
+
+
+class _WatchdogHarness:
+    def __init__(self, slo=SLO):
+        self.clock = _Clock()
+        self.bus = EventBus(self.clock)
+        self.watchdog = HealthWatchdog(slo=slo).attach(self.bus)
+        self.health_events = []
+        self.bus.subscribe(
+            self.health_events.append,
+            names=[OBS_HEALTH_DEGRADED, OBS_HEALTH_RESTORED],
+        )
+
+    def bucket(self, start, rate, failed=0.0, width=1.0):
+        self.clock.now = start + width
+        self.bus.publish(
+            "sim.monitor.bucket",
+            start=start,
+            ok=rate * width,
+            failed=failed,
+            width=width,
+        )
+
+    def buckets(self, start, end, rate, **kw):
+        t = start
+        while t < end:
+            self.bucket(t, rate, **kw)
+            t += 1.0
+
+
+def test_watchdog_calibrates_tn_from_leading_traffic():
+    h = _WatchdogHarness()
+    h.buckets(0.0, 4.0, 10.0)
+    assert h.watchdog.tn == pytest.approx(10.0)
+    assert h.watchdog.episodes == []
+
+
+def test_throughput_violation_publishes_degraded_then_restored():
+    h = _WatchdogHarness()
+    h.buckets(0.0, 5.0, 10.0)
+    h.buckets(5.0, 7.0, 0.0)  # rolling mean dips under the floor
+    assert [e.name for e in h.health_events] == [OBS_HEALTH_DEGRADED]
+    assert "throughput" in h.health_events[0].fields["reason"]
+    h.buckets(7.0, 11.0, 10.0)  # a clean rolling window again
+    assert [e.name for e in h.health_events] == [
+        OBS_HEALTH_DEGRADED,
+        OBS_HEALTH_RESTORED,
+    ]
+    (episode,) = h.watchdog.episodes
+    assert not episode["open"]
+    assert episode["duration"] == pytest.approx(
+        h.health_events[1].fields["violated_for"]
+    )
+    assert h.watchdog.time_in_violation == episode["duration"]
+    # Worst rolling window: one 10-rate bucket against two dead ones.
+    assert h.watchdog.min_throughput == pytest.approx(10.0 / 3.0)
+
+
+def test_availability_violation_is_flagged_even_at_full_rate():
+    h = _WatchdogHarness()
+    h.buckets(0.0, 4.0, 10.0)
+    h.bucket(4.0, 10.0, failed=10.0)  # half the requests fail
+    assert len(h.watchdog.episodes) == 0  # still open
+    assert h.watchdog._violating_since is not None
+    assert "availability" in h.watchdog._violation_reason
+    assert h.watchdog.min_availability == pytest.approx(0.5)
+
+
+def test_open_violation_is_closed_at_finalize():
+    h = _WatchdogHarness()
+    h.buckets(0.0, 4.0, 10.0)
+    h.buckets(4.0, 8.0, 0.0)
+    h.watchdog.finalize(8.0)
+    (episode,) = h.watchdog.episodes
+    assert episode["open"]
+    assert episode["end"] == 8.0
+    summary = h.watchdog.summary()
+    assert summary["violations"] == 1
+    assert summary["time_in_violation"] == pytest.approx(episode["duration"])
+    json.dumps(summary)
+
+
+# ----------------------------------------------------------------------
+# The golden smoke runs: acceptance + passivity
+# ----------------------------------------------------------------------
+
+
+def _observed_run(version, kind):
+    obs = Observatory(env=GOLDEN_SETTINGS.environment)
+    record, cluster = run_single_fault(
+        ALL_VERSIONS_EXTENDED[version], kind, GOLDEN_SETTINGS, recorder=obs
+    )
+    obs.finish(cluster)
+    return obs, record
+
+
+@pytest.mark.parametrize("version,kind", GOLDEN_CASES)
+def test_online_boundaries_within_one_bucket_of_ground_truth(version, kind):
+    """The acceptance bar: live classification tracks the hindsight fit."""
+    obs, record = _observed_run(version, kind)
+    report = divergence_report(
+        obs.detector.summary(), record, GOLDEN_SETTINGS.environment
+    )
+    bucket = record.timeline.bucket_width
+    boundaries = report["boundaries"]
+    for label in ("injection", "detection", "repair", "reset"):
+        entry = boundaries.get(label)
+        if entry is None:
+            continue  # neither side observed it (e.g. TCP never excludes)
+        assert "error" in entry, (
+            f"{version}/{kind.value}: boundary {label} observed by only "
+            f"one side: {entry}"
+        )
+        assert abs(entry["error"]) <= bucket + 1e-9, (
+            f"{version}/{kind.value}: boundary {label} off by "
+            f"{entry['error']:+.2f}s (> one {bucket:.1f}s bucket)"
+        )
+    assert "injection" in boundaries and "repair" in boundaries
+    # The residual disagreement is dominated by the hindsight-only
+    # stage-D end (the fit may key it to the run horizon, which no live
+    # observer can know); everything else is within a bucket.
+    assert report["misclassified_frac"] < 0.35
+
+
+def test_tcp_link_down_transient_end_matches_within_one_bucket():
+    """For the self-recovering golden case even the window-driven stage-D
+    end (hindsight-free here) agrees to one bucket."""
+    from repro.faults.spec import FaultKind
+
+    obs, record = _observed_run("TCP-PRESS", FaultKind.LINK_DOWN)
+    report = divergence_report(
+        obs.detector.summary(), record, GOLDEN_SETTINGS.environment
+    )
+    entry = report["boundaries"]["transient_end"]
+    assert abs(entry["error"]) <= record.timeline.bucket_width + 1e-9
+    assert report["online_missing"] == []
+
+
+@pytest.mark.parametrize("version,kind", GOLDEN_CASES)
+def test_observed_run_matches_golden_fixture_bit_for_bit(version, kind):
+    """Full passivity: a run with the whole observatory attached (detector
+    + watchdog + recorder) reproduces the pinned golden profile exactly —
+    the fixtures are literal ``to_dict()`` dumps, so ``==`` is bit-for-bit.
+    """
+    from repro.obs.bus import EventRecorder
+
+    obs = Observatory(
+        recorder=EventRecorder(keep_events=False),
+        env=GOLDEN_SETTINGS.environment,
+    )
+    record, cluster = run_single_fault(
+        ALL_VERSIONS_EXTENDED[version], kind, GOLDEN_SETTINGS, recorder=obs
+    )
+    obs.finish(cluster)
+    measured = extract_profile(
+        record, mttr=FAULT_MTTR[kind], env=GOLDEN_SETTINGS.environment
+    )
+    path = GOLDEN_DIR / f"{version}_{kind.value}.json"
+    assert measured.to_dict() == json.loads(path.read_text())
+    assert obs.detector.transitions, "detector saw no stage transitions"
+    assert obs.recorder.total > 0, "recorder saw no events"

@@ -105,3 +105,84 @@ def test_campaign_clear_cache_flag(
         capsys, *argv, "--clear-cache", "campaign", "--versions", "TCP-PRESS"
     )
     assert "0 from cache" in out
+
+
+# ----------------------------------------------------------------------
+# dashboard / trace-validate subcommands
+# ----------------------------------------------------------------------
+
+
+def _seed_store(cache_dir):
+    """A minimal persisted campaign (one version, one fault)."""
+    from repro.experiments.runner import run_campaign
+    from repro.experiments.settings import Phase1Settings
+    from repro.experiments.store import DiskStore
+    from repro.faults.spec import FaultKind
+    from repro.press.cluster import SMOKE_SCALE
+
+    settings = Phase1Settings(
+        scale=SMOKE_SCALE, seed=1234, warm=15.0, fault_at=30.0,
+        fault_duration=40.0, post_recovery=60.0, tail=40.0, replications=1,
+    )
+    run_campaign(
+        settings, versions=["TCP-PRESS"], faults=[FaultKind.LINK_DOWN],
+        store=DiskStore(cache_dir),
+    )
+
+
+def test_dashboard_command_renders_a_store(capsys, tmp_path):
+    store = tmp_path / "cache"
+    _seed_store(store)
+    out_file = tmp_path / "dash.html"
+    out = run_cli(capsys, "dashboard", str(store), "--out", str(out_file))
+    assert str(out_file) in out
+    html = out_file.read_text(encoding="utf-8")
+    assert "<svg" in html and "TCP-PRESS" in html and "link-down" in html
+
+
+def test_dashboard_command_defaults_into_the_store(capsys, tmp_path):
+    store = tmp_path / "cache"
+    _seed_store(store)
+    out = run_cli(capsys, "dashboard", str(store))
+    assert str(store / "dashboard.html") in out
+    assert (store / "dashboard.html").exists()
+
+
+def test_dashboard_command_exits_nonzero_on_empty_store(tmp_path):
+    with pytest.raises(SystemExit) as exc:
+        main(["dashboard", str(tmp_path)])
+    assert exc.value.code != 0
+
+
+def _write_traces(trace_dir):
+    from repro.obs.bus import SimEvent
+    from repro.obs.exporters import export_run
+
+    events = [
+        SimEvent(time=0.5, seq=1, name="press.cache.hit", node="n0"),
+        SimEvent(time=0.7, seq=2, name="press.cache.miss", node="n0"),
+    ]
+    export_run(events, trace_dir, "run", "both")
+
+
+def test_trace_validate_command_reports_per_file_counts(capsys, tmp_path):
+    _write_traces(tmp_path)
+    out = run_cli(capsys, "trace-validate", str(tmp_path))
+    assert "run.jsonl: 2 events ok" in out
+    assert "trace-validate: 2 file(s) ok" in out
+
+
+def test_trace_validate_exits_nonzero_on_malformed_trace(tmp_path):
+    _write_traces(tmp_path)
+    (tmp_path / "run.jsonl").write_text("this is not json\n")
+    with pytest.raises(SystemExit) as exc:
+        main(["trace-validate", str(tmp_path)])
+    assert exc.value.code != 0
+    assert "not JSON" in str(exc.value.code)
+
+
+def test_trace_validate_exits_nonzero_on_empty_dir(tmp_path):
+    with pytest.raises(SystemExit) as exc:
+        main(["trace-validate", str(tmp_path)])
+    assert exc.value.code != 0
+    assert "no trace files" in str(exc.value.code)
