@@ -8,7 +8,12 @@ baseline:
   (tolerance defaults to 0.30; override with ``BENCH_GATE_TOLERANCE`` or
   ``--tolerance`` when a CI runner class is known to differ);
 * the committed improvement claims are re-checked arithmetically: every
-  bench flagged ``improved_3x`` must have ``pre_pr_s / post_pr_s >= 3``.
+  bench flagged ``improved_3x`` must have ``pre_pr_s / post_pr_s >= 3``,
+  and every entry under ``claims`` (e.g. the warm-start campaign
+  speedup) must have ``recorded.cold_s / recorded.warm_s >= min_speedup``;
+* claims naming a live ``pair`` of benches are additionally re-measured:
+  the cold bench's min over the warm bench's min must clear
+  ``min_speedup`` on this machine, not just in the committed record.
 
 ``--update`` refreshes the ``post_pr_s`` numbers from the current run
 (preserving the ``pre_pr_s`` reference column, which is only measured
@@ -78,7 +83,7 @@ def run_benchmarks(passes: int = 2) -> dict:
 
 
 def check_claims(baseline: dict) -> list:
-    """Arithmetic re-check of the committed ≥3x improvement claims."""
+    """Arithmetic re-check of the committed improvement claims."""
     failures = []
     for name, entry in baseline.get("benches", {}).items():
         if not entry.get("improved_3x"):
@@ -89,6 +94,47 @@ def check_claims(baseline: dict) -> list:
             failures.append(
                 f"{name}: claimed >=3x but baseline says "
                 f"{pre!r}/{post!r} = {pre / post if pre and post else 'n/a'}"
+            )
+    for name, claim in baseline.get("claims", {}).items():
+        need = claim.get("min_speedup")
+        recorded = claim.get("recorded", {})
+        cold = recorded.get("cold_s")
+        warm = recorded.get("warm_s")
+        if not need or not cold or not warm or cold / warm < need:
+            failures.append(
+                f"{name}: claimed >={need}x but recorded "
+                f"{cold!r}/{warm!r} = "
+                f"{cold / warm if cold and warm else 'n/a'}"
+            )
+    return failures
+
+
+def check_live_pairs(baseline: dict, measured: dict) -> list:
+    """Re-measure every claim that names a live (cold, warm) bench pair."""
+    failures = []
+    for name, claim in baseline.get("claims", {}).items():
+        pair = claim.get("pair")
+        if not pair:
+            continue
+        cold_name, warm_name = pair
+        need = float(claim.get("min_speedup", 2.0))
+        cold = measured.get(cold_name)
+        warm = measured.get(warm_name)
+        if cold is None or warm is None:
+            failures.append(
+                f"{name}: pair bench missing from the run "
+                f"({cold_name}={cold!r}, {warm_name}={warm!r})"
+            )
+            continue
+        ratio = cold / warm
+        status = "ok" if ratio >= need else "FAIL"
+        print(
+            f"bench-gate: claim {name}: live {cold * 1e3:.2f} ms / "
+            f"{warm * 1e3:.2f} ms = {ratio:.2f}x (need >={need}x) {status}"
+        )
+        if ratio < need:
+            failures.append(
+                f"{name}: live speedup {ratio:.2f}x < required {need}x"
             )
     return failures
 
@@ -147,6 +193,7 @@ def main() -> int:
     for name in measured:
         if name not in baseline["benches"]:
             print(f"bench-gate: {name}: no baseline entry (new bench?) — skipped")
+    failures.extend(check_live_pairs(baseline, measured))
 
     if failures:
         for f in failures:

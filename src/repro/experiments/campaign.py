@@ -31,6 +31,7 @@ _default_store: ResultStore = MemoryStore()
 _default_jobs: int = 1
 _default_trace_dir: Optional[str] = None
 _default_trace_format: str = "both"
+_default_warm_start: bool = True
 
 
 def configure(
@@ -38,11 +39,12 @@ def configure(
     jobs: Optional[int] = None,
     trace_dir: Optional[str] = None,
     trace_format: Optional[str] = None,
+    warm_start: Optional[bool] = None,
 ) -> None:
     """Set the store/parallelism/tracing every campaign uses unless
     overridden."""
     global _default_store, _default_jobs, _default_trace_dir
-    global _default_trace_format
+    global _default_trace_format, _default_warm_start
     if store is not None:
         _default_store = store
     if jobs is not None:
@@ -51,6 +53,8 @@ def configure(
         _default_trace_dir = str(trace_dir)
     if trace_format is not None:
         _default_trace_format = trace_format
+    if warm_start is not None:
+        _default_warm_start = bool(warm_start)
 
 
 def default_store() -> ResultStore:
@@ -79,6 +83,7 @@ def measure_profile_set(
         use_cache=use_cache,
         trace_dir=_default_trace_dir,
         trace_format=_default_trace_format,
+        warm_start=_default_warm_start,
     )
     return sets[version]
 
@@ -117,6 +122,7 @@ def full_campaign_with_report(
         use_cache=use_cache,
         trace_dir=_default_trace_dir,
         trace_format=_default_trace_format,
+        warm_start=_default_warm_start,
     )
 
 

@@ -5,6 +5,19 @@ warm-up, steady measurement of Tn, fault injection, observation through
 recovery, and — when the service cannot restore itself (splintered
 partitions, stranded rejoins) — a simulated operator reset with a
 post-reset observation tail.
+
+Every cell is structured as a **warm segment** plus a **continuation**.
+The warm segment (:func:`run_warm`) carries the simulation to
+:func:`warm_point` — the injection instant — and is the part that is
+identical across every fault of a (version, settings, seed) group: the
+fault spec only enters the simulation *at* the injection instant, so the
+pre-injection trajectory cannot depend on it.  The campaign warm-start
+cache (:mod:`repro.experiments.warmstart`) exploits exactly this: it
+snapshots the warm segment once and restores it per cell.  Cold runs
+execute the same two segments back to back, which is behaviourally
+identical to one straight run (the engine's clock and sequence counter
+advance the same way), so warm-started and cold cells produce
+bit-identical results.
 """
 
 from __future__ import annotations
@@ -60,21 +73,57 @@ def _collect_timeline(
     )
 
 
-def run_baseline(
+def warm_point(settings: Phase1Settings) -> float:
+    """Sim-time up to which every cell of a settings group is identical.
+
+    This is the injection instant: a fault spec enters the simulation at
+    ``fault_at`` and the baseline never injects at all, so the trajectory
+    up to (and including every event strictly before) this time is a pure
+    function of (version, settings, seed).
+    """
+    return settings.fault_at
+
+
+def run_warm(
     config: PressConfig,
     settings: Phase1Settings = DEFAULT_SETTINGS,
     recorder=None,
-) -> Tuple[float, PressCluster]:
-    """Fault-free run; returns (Tn in paper units, cluster).
+) -> PressCluster:
+    """Build, start, and run a cluster to :func:`warm_point`.
 
-    ``recorder`` (an :class:`~repro.obs.bus.EventRecorder` or any object
-    with ``attach(bus)``) is subscribed to the cluster's event bus before
-    the run starts.
+    The returned cluster (with ``recorder`` attached to its bus, when
+    given) is the shared prefix of every phase-1 cell: baseline and fault
+    continuations both pick up from exactly here.
     """
     cluster = build_cluster(config, settings)
     if recorder is not None:
         recorder.attach(cluster.bus)
     cluster.start()
+    cluster.run_until(warm_point(settings))
+    return cluster
+
+
+def run_baseline(
+    config: PressConfig,
+    settings: Phase1Settings = DEFAULT_SETTINGS,
+    recorder=None,
+    warm_cluster: Optional[PressCluster] = None,
+) -> Tuple[float, PressCluster]:
+    """Fault-free run; returns (Tn in paper units, cluster).
+
+    ``recorder`` (an :class:`~repro.obs.bus.EventRecorder` or any object
+    with ``attach(bus)``) is subscribed to the cluster's event bus before
+    the run starts.  ``warm_cluster`` continues a prepared warm segment
+    (typically restored from a checkpoint) instead of simulating one; its
+    recorder was attached before the warm segment ran, so the two
+    arguments are mutually exclusive.
+    """
+    if warm_cluster is None:
+        cluster = run_warm(config, settings, recorder)
+    elif recorder is not None:
+        raise ValueError("warm_cluster already carries its recorder")
+    else:
+        cluster = warm_cluster
     end = settings.warm + settings.fault_at
     cluster.run_until(end)
     tn = cluster.measured_rate(settings.warm, end)
@@ -88,12 +137,21 @@ def run_single_fault(
     target: Optional[str] = DEFAULT_TARGET,
     normal_throughput: Optional[float] = None,
     recorder=None,
+    warm_cluster: Optional[PressCluster] = None,
 ) -> Tuple[ExperimentRecord, PressCluster]:
-    """Inject ``kind`` into a running cluster and record the response."""
-    cluster = build_cluster(config, settings)
-    if recorder is not None:
-        recorder.attach(cluster.bus)
-    cluster.start()
+    """Inject ``kind`` into a running cluster and record the response.
+
+    The fault is scheduled only once the warm segment has reached the
+    injection instant, so the pre-injection simulation is byte-identical
+    whether the warm segment was simulated here (cold) or restored from a
+    checkpoint (``warm_cluster``).
+    """
+    if warm_cluster is None:
+        cluster = run_warm(config, settings, recorder)
+    elif recorder is not None:
+        raise ValueError("warm_cluster already carries its recorder")
+    else:
+        cluster = warm_cluster
 
     duration = settings.fault_duration if kind in DURATION_FAULTS else 0.0
     spec = FaultSpec(

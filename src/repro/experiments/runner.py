@@ -5,9 +5,13 @@ independent simulated runs plus one fault-free baseline per
 (version, replication).  Each grid point is a *cell*: a pure function of
 the experiment settings and its derived seed.  This module
 
-* derives a collision-free deterministic seed per cell (a stable hash of
-  ``(base_seed, version, fault, rep)`` — the old ``seed + 101 * rep``
-  arithmetic collides across nearby base seeds),
+* derives a collision-free deterministic seed per *warm group* (a
+  stable hash of ``(base_seed, version, rep)`` plus the warm-segment
+  layout — the old ``seed + 101 * rep`` arithmetic collides across
+  nearby base seeds); the baseline and every fault of a group share the
+  seed, so their pre-injection trajectories are identical and the
+  warm-start cache (:mod:`.warmstart`) simulates each group's warm
+  segment exactly once,
 * executes cells either serially or on a
   :class:`~concurrent.futures.ProcessPoolExecutor` (``jobs > 1``), with
   a transparent serial fallback on platforms where worker processes
@@ -28,6 +32,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import tempfile
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
@@ -35,24 +40,42 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 from ..core.model import ProfileSet
 from ..core.stages import SevenStageProfile, average_profiles
 from ..faults.spec import FaultKind
+from ..obs.metrics import MetricsRegistry
 from ..press.config import ALL_VERSIONS_EXTENDED
 from .settings import CAMPAIGN_FAULTS, FAULT_MTTR, Phase1Settings
-from .store import CellKey, MemoryStore, ResultStore
-
-#: Marker used in seed derivation for the fault-free baseline cell.
-_BASELINE_TAG = "<baseline>"
+from .store import CellKey, DiskStore, MemoryStore, ResultStore
+from .warmstart import (
+    STATUS_COLD,
+    STATUS_HIT,
+    STATUS_INVALIDATED,
+    STATUS_MISS,
+    WarmSpec,
+    WarmStartCache,
+)
 
 
 def cell_seed(
-    base_seed: int, version: str, fault: Optional[str], rep: int
+    base_seed: int, version: str, rep: int, *, warm: float, fault_at: float
 ) -> int:
-    """Deterministic 64-bit seed for one campaign cell.
+    """Deterministic 64-bit seed for one *warm group* (version, rep).
 
-    A stable hash keeps distinct cells on distinct seeds for *any* base
-    seed — unlike linear schemes (``base + 101 * rep``) where nearby
-    base seeds reuse each other's replication seeds.
+    Every cell of a (version, replication) group — the fault-free
+    baseline and all fault cells — shares one seed: their trajectories
+    are identical up to the injection instant (the fault spec only
+    enters the simulation there), which is what lets the warm-start
+    cache (:mod:`.warmstart`) simulate that shared prefix once per
+    group.  It also restores the Tn correlation the historical serial
+    path had (baseline and faults of a replication under one seed).
+
+    A stable hash keeps distinct groups on distinct seeds for *any*
+    base seed — unlike linear schemes (``base + 101 * rep``) where
+    nearby base seeds reuse each other's replication seeds.  The
+    warm-segment layout settings (``warm``, ``fault_at``) are folded in
+    so campaigns that reposition the measurement window or the
+    injection instant land on fresh seed universes instead of reusing
+    trajectories judged under a different layout.
     """
-    tag = f"{base_seed}|{version}|{fault if fault is not None else _BASELINE_TAG}|{rep}"
+    tag = f"{base_seed}|{version}|rep{rep}|warm={warm!r}|at={fault_at!r}"
     digest = hashlib.sha256(tag.encode()).digest()
     return int.from_bytes(digest[:8], "little")
 
@@ -80,25 +103,64 @@ def _timeline_payload(
     }
 
 
+def _warm_cell(
+    version: str,
+    settings: Phase1Settings,
+    seed: int,
+    keep_events: bool,
+    warm: WarmSpec,
+) -> dict:
+    """Warm-wave worker: make one warm group's checkpoint exist."""
+    cell_settings = dataclasses.replace(settings, seed=seed)
+    return WarmStartCache(warm).ensure(version, cell_settings, keep_events)
+
+
+def _start_cell(
+    version: str,
+    cell_settings: Phase1Settings,
+    keep_events: bool,
+    warm: Optional[WarmSpec],
+):
+    """Warm (cluster, observatory, provenance) for one cell.
+
+    With a :class:`WarmSpec` the warm segment is restored from (or
+    captured into) the campaign's checkpoint cache; without one the cell
+    runs cold and the caller simulates the warm segment itself.
+    """
+    from ..obs.bus import EventRecorder
+    from ..obs.observatory import Observatory
+
+    if warm is not None:
+        return WarmStartCache(warm).obtain(
+            version, cell_settings, keep_events
+        )
+    obs = Observatory(
+        recorder=EventRecorder(keep_events=keep_events),
+        env=cell_settings.environment,
+    )
+    return None, obs, {"status": STATUS_COLD}
+
+
 def _baseline_cell(
     version: str,
     settings: Phase1Settings,
     seed: int,
     trace: Optional[tuple] = None,
+    warm: Optional[WarmSpec] = None,
 ) -> dict:
-    from ..obs.bus import EventRecorder
     from ..obs.exporters import telemetry_summary
-    from ..obs.observatory import Observatory
     from .phase1 import run_baseline
 
     cell_settings = dataclasses.replace(settings, seed=seed)
-    obs = Observatory(
-        recorder=EventRecorder(keep_events=trace is not None),
-        env=settings.environment,
-    )
     start = time.perf_counter()
+    cluster, obs, warm_prov = _start_cell(
+        version, cell_settings, trace is not None, warm
+    )
     tn, cluster = run_baseline(
-        ALL_VERSIONS_EXTENDED[version], cell_settings, recorder=obs
+        ALL_VERSIONS_EXTENDED[version],
+        cell_settings,
+        recorder=None if cluster is not None else obs,
+        warm_cluster=cluster,
     )
     obs.finish(cluster)
     end = cell_settings.warm + cell_settings.fault_at
@@ -106,6 +168,7 @@ def _baseline_cell(
         "kind": "baseline",
         "tn": tn,
         "elapsed": time.perf_counter() - start,
+        "warm_start": warm_prov,
         "telemetry": telemetry_summary(
             obs.recorder, cluster.metrics, bus=cluster.bus
         ),
@@ -132,29 +195,31 @@ def _fault_cell(
     settings: Phase1Settings,
     seed: int,
     trace: Optional[tuple] = None,
+    warm: Optional[WarmSpec] = None,
 ) -> dict:
     from ..core.divergence import divergence_report
     from ..core.extract import extract_profile
-    from ..obs.bus import EventRecorder
     from ..obs.exporters import telemetry_summary
-    from ..obs.observatory import Observatory
     from .phase1 import run_single_fault
 
     kind = FaultKind(fault_value)
     cell_settings = dataclasses.replace(settings, seed=seed)
-    obs = Observatory(
-        recorder=EventRecorder(keep_events=trace is not None),
-        env=settings.environment,
-    )
     start = time.perf_counter()
+    cluster, obs, warm_prov = _start_cell(
+        version, cell_settings, trace is not None, warm
+    )
     # The cell measures its *own* pre-injection throughput as Tn.  The
     # extraction thresholds (impact/recovery, a few percent of Tn) need
-    # Tn correlated with the run they judge; a baseline from a different
-    # seed differs by bucket noise of the same order.  (The historical
-    # serial path got this correlation implicitly by running baseline
-    # and faults under one seed per replication.)
+    # Tn correlated with the run they judge; with per-group seeds that
+    # correlation is exact — baseline and faults of a (version, rep)
+    # share the pre-injection trajectory, as the historical serial path
+    # arranged by running them under one seed per replication.
     record, cluster = run_single_fault(
-        ALL_VERSIONS_EXTENDED[version], kind, cell_settings, recorder=obs
+        ALL_VERSIONS_EXTENDED[version],
+        kind,
+        cell_settings,
+        recorder=None if cluster is not None else obs,
+        warm_cluster=cluster,
     )
     obs.finish(cluster)
     profile = extract_profile(
@@ -164,6 +229,7 @@ def _fault_cell(
         "kind": "profile",
         "profile": profile.to_dict(),
         "elapsed": time.perf_counter() - start,
+        "warm_start": warm_prov,
         "telemetry": telemetry_summary(
             obs.recorder, cluster.metrics, bus=cluster.bus
         ),
@@ -224,6 +290,9 @@ class CellRecord:
     #: per-cell run telemetry (event counts + metrics snapshot); None
     #: for cells loaded from a pre-telemetry (schema v1) payload
     telemetry: Optional[dict] = None
+    #: warm-start provenance ("hit"/"miss"/"invalidated"/"cold"); None
+    #: for result-store hits (those cells never touched a checkpoint)
+    warm: Optional[str] = None
 
 
 @dataclass
@@ -235,6 +304,10 @@ class CampaignReport:
     cells: List[CellRecord] = field(default_factory=list)
     #: one-line run-telemetry notices (e.g. schema-bump invalidations)
     notices: List[str] = field(default_factory=list)
+    #: warm-start checkpoint traffic: {"hit", "miss", "invalidated"}
+    #: counts (mirrors the campaign.warm_start.* metrics counters);
+    #: empty when warm-start was disabled or every cell was store-cached
+    warm_start: Dict[str, int] = field(default_factory=dict)
 
     @property
     def executed(self) -> int:
@@ -318,6 +391,7 @@ class CampaignRunner:
         on_cell: Optional[Callable[[CellRecord], None]] = None,
         trace_dir: Optional[str] = None,
         trace_format: str = "both",
+        warm_start: bool = True,
     ):
         self.settings = settings
         self.store = store if store is not None else MemoryStore()
@@ -326,6 +400,9 @@ class CampaignRunner:
         self.on_cell = on_cell
         self.trace_dir = str(trace_dir) if trace_dir is not None else None
         self.trace_format = trace_format
+        self.warm_start = warm_start
+        #: campaign-level observability (campaign.warm_start.* counters)
+        self.metrics = MetricsRegistry()
         self._settings_key = settings.cache_key()
 
     # -- grid ----------------------------------------------------------
@@ -334,13 +411,22 @@ class CampaignRunner:
     ) -> Tuple[List[_Cell], List[_Cell]]:
         reps = range(max(1, self.settings.replications))
         base = self.settings.seed
-        baselines = [
-            _Cell(v, None, r, cell_seed(base, v, None, r))
+        seeds = {
+            (v, r): cell_seed(
+                base,
+                v,
+                r,
+                warm=self.settings.warm,
+                fault_at=self.settings.fault_at,
+            )
             for v in versions
             for r in reps
+        }
+        baselines = [
+            _Cell(v, None, r, seeds[(v, r)]) for v in versions for r in reps
         ]
         cells = [
-            _Cell(v, f.value, r, cell_seed(base, v, f.value, r))
+            _Cell(v, f.value, r, seeds[(v, r)])
             for v in versions
             for r in reps
             for f in faults
@@ -375,8 +461,13 @@ class CampaignRunner:
             elapsed=0.0 if cached else float(payload.get("elapsed", 0.0)),
             cached=cached,
             telemetry=payload.get("telemetry"),
+            warm=None
+            if cached
+            else (payload.get("warm_start") or {}).get("status"),
         )
         report.cells.append(rec)
+        if not cached:
+            self._count_warm(rec.warm)
         if self.on_cell is not None:
             self.on_cell(rec)
 
@@ -411,6 +502,88 @@ class CampaignRunner:
                 self.store.put(cell.key(self._settings_key), payload)
             self._record(report, cell, payload, cached=False)
         return results
+
+    # -- warm-start ----------------------------------------------------
+    def _resolve_warm(self, misses):
+        """Pick where this campaign keeps warm checkpoints.
+
+        Returns ``(spec, spool)``: a :class:`WarmSpec` (or ``None`` when
+        warm-start is off or nothing will execute) and a temporary spool
+        directory to clean up, when one had to be created.  Disk-backed
+        stores persist checkpoints next to their cells (surviving
+        restarts like the cells do); in-memory parallel campaigns spool
+        through a run-scoped temp dir, since a per-process memory cache
+        is invisible to pool workers; serial in-memory campaigns just
+        use the process-local cache.
+        """
+        if not self.warm_start or not misses:
+            return None, None
+        if isinstance(self.store, DiskStore):
+            return WarmSpec(dir=str(self.store.cache_dir / "warmstart")), None
+        if self.jobs > 1 and len(misses) > 1:
+            spool = tempfile.TemporaryDirectory(prefix="repro-warmstart-")
+            return WarmSpec(dir=spool.name), spool
+        return WarmSpec(dir=None), None
+
+    def _warm_wave(self, misses, spec: WarmSpec) -> None:
+        """Checkpoint every warm group exactly once, before the cells.
+
+        This is what turns the campaign's warm-up cost from O(cells)
+        into O(warm groups): by the time the cell wave fans out, every
+        cell — parallel ones included — finds its group's checkpoint
+        instead of re-simulating the shared prefix.
+        """
+        keep = self.trace_dir is not None
+        groups = sorted({(cell.version, cell.seed) for cell, _ in misses})
+        results: List[dict] = []
+        pool = self._pool() if len(groups) > 1 else None
+        try:
+            if pool is None:
+                for version, seed in groups:
+                    results.append(
+                        _warm_cell(version, self.settings, seed, keep, spec)
+                    )
+            else:
+                futures = [
+                    pool.submit(
+                        _warm_cell, version, self.settings, seed, keep, spec
+                    )
+                    for version, seed in groups
+                ]
+                results = [f.result() for f in futures]
+        finally:
+            if pool is not None:
+                pool.shutdown()
+        for prov in results:
+            # A warm-wave "hit" found a checkpoint from an earlier
+            # campaign: nothing simulated, nothing restored — only the
+            # cells' restores count as hits.
+            if prov["status"] != STATUS_HIT:
+                self._count_warm(prov["status"])
+
+    def _count_warm(self, status: Optional[str]) -> None:
+        if status in (STATUS_HIT, STATUS_MISS, STATUS_INVALIDATED):
+            self.metrics.counter(f"campaign.warm_start.{status}").inc()
+
+    def _finish_warm_report(self, report: CampaignReport) -> None:
+        counts = {
+            status: self.metrics.counter(f"campaign.warm_start.{status}").value
+            for status in (STATUS_HIT, STATUS_MISS, STATUS_INVALIDATED)
+        }
+        report.warm_start = {k: v for k, v in counts.items() if v}
+        if not report.warm_start:
+            return
+        notice = (
+            f"warm-start: {counts[STATUS_MISS]} warm segment(s) simulated, "
+            f"{counts[STATUS_HIT]} checkpoint restore(s)"
+        )
+        if counts[STATUS_INVALIDATED]:
+            notice += (
+                f", {counts[STATUS_INVALIDATED]} invalidated checkpoint(s) "
+                "recomputed (format/python changed)"
+            )
+        notice += " — see PERFORMANCE.md"
+        report.notices.append(notice)
 
     def _pool(self):
         """A process pool, or ``None`` to fall back to inline execution."""
@@ -476,7 +649,17 @@ class CampaignRunner:
                         ),
                     )
                 )
-        payloads.update(self._execute_wave(misses, report))
+        warm_spec, spool = self._resolve_warm(misses)
+        try:
+            if warm_spec is not None:
+                self._warm_wave(misses, warm_spec)
+            misses = [
+                (cell, args + (warm_spec,)) for cell, args in misses
+            ]
+            payloads.update(self._execute_wave(misses, report))
+        finally:
+            if spool is not None:
+                spool.cleanup()
         tn_by_cell = {
             (c.version, c.rep): p["tn"]
             for c, p in payloads.items()
@@ -504,6 +687,7 @@ class CampaignRunner:
             out[version] = profiles
 
         report.notices.extend(self.store.drain_notices())
+        self._finish_warm_report(report)
         errors = 0
         error_cells = 0
         for rec in report.cells:
@@ -531,6 +715,7 @@ def run_campaign(
     on_cell: Optional[Callable[[CellRecord], None]] = None,
     trace_dir: Optional[str] = None,
     trace_format: str = "both",
+    warm_start: bool = True,
 ) -> Tuple[Dict[str, ProfileSet], CampaignReport]:
     """One-shot convenience wrapper around :class:`CampaignRunner`."""
     runner = CampaignRunner(
@@ -541,5 +726,6 @@ def run_campaign(
         on_cell=on_cell,
         trace_dir=trace_dir,
         trace_format=trace_format,
+        warm_start=warm_start,
     )
     return runner.run(versions, faults)

@@ -39,10 +39,39 @@ from typing import Dict, Optional, Tuple, Union
 #:        stage transitions + SLO health), the detector-vs-ground-truth
 #:        "divergence" report (fault cells), a compact "timeline" for
 #:        the campaign dashboard, and telemetry "subscriber_errors".
-SCHEMA_VERSION = 3
+#:   v4 — per-(version, rep) warm-group seeds: the baseline and every
+#:        fault of a replication now share one derived seed (the fault
+#:        is no longer folded in), so the warm-start layer can simulate
+#:        each group's pre-injection prefix once; payloads carry a
+#:        volatile "warm_start" provenance key (see
+#:        VOLATILE_PAYLOAD_KEYS).
+SCHEMA_VERSION = 4
 
 #: Environment variable consulted by the CLI for a default cache dir.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Payload keys that legitimately differ between two executions of the
+#: *same* cell: host wall-clock and warm-start checkpoint provenance.
+#: Everything else is simulation output and must be bit-identical run to
+#: run — that is the contract :func:`payload_fingerprint` checks and the
+#: CI warm/cold double-run diff enforces.
+VOLATILE_PAYLOAD_KEYS = ("elapsed", "warm_start")
+
+
+def payload_fingerprint(payload: dict) -> str:
+    """Stable digest of a cell payload's *deterministic* content.
+
+    Volatile keys (:data:`VOLATILE_PAYLOAD_KEYS`) are dropped; the rest
+    is hashed over canonical JSON.  Two runs of one cell — cold, warm
+    started, serial, parallel — must agree on this digest exactly.
+    """
+    deterministic = {
+        k: v for k, v in payload.items() if k not in VOLATILE_PAYLOAD_KEYS
+    }
+    canonical = json.dumps(
+        deterministic, sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
 
 
 @dataclass(frozen=True)

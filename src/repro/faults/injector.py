@@ -11,6 +11,7 @@ extraction.
 from __future__ import annotations
 
 from dataclasses import replace
+from functools import partial
 from typing import Dict, Optional
 
 from ..net.fabric import Fabric
@@ -119,7 +120,7 @@ class Mendosus:
         transient = spec.params.get("transient", True)
         if transient:
             node.on_reboot_complete.append(
-                _OneShot(lambda: self._cleared(spec))
+                _OneShot(partial(self._cleared, spec))
             )
         node.crash(transient=transient)
 
@@ -172,7 +173,7 @@ class Mendosus:
     # ------------------------------------------------------------------
     def _app_crash(self, spec: FaultSpec) -> None:
         node = self.nodes[spec.target]
-        node.process.on_start.append(_OneShot(lambda: self._cleared(spec)))
+        node.process.on_start.append(_OneShot(partial(self._cleared, spec)))
         node.process.sigkill()
 
     def _app_hang(self, spec: FaultSpec) -> None:

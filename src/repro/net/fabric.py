@@ -260,7 +260,7 @@ class Fabric:
             "a2b",
             wire_size,
             frame.kind,
-            lambda: self._at_switch(frame, wire_size, seq),
+            _AtSwitchCb(self, frame, wire_size, seq),
         )
         if not sent:
             self._lose(frame, f"link-down:{frame.src}")
@@ -509,7 +509,7 @@ class Fabric:
     # -- slow path ---------------------------------------------------------
     def _at_switch(self, frame: Frame, wire_size: int, seq: int = 0) -> None:
         forwarded = self.switch.forward(
-            frame.dst, lambda: self._at_dst_link(frame, wire_size, seq)
+            frame.dst, _AtDstLinkCb(self, frame, wire_size, seq)
         )
         if not forwarded:
             self._lose(frame, "switch-down")
@@ -520,7 +520,7 @@ class Fabric:
         if dst_link._resv:
             self._interleave_slow(dst_link, seq)
         sent = dst_link.transmit(
-            "b2a", wire_size, frame.kind, lambda: self._deliver(frame)
+            "b2a", wire_size, frame.kind, _DeliverCb(self, frame)
         )
         if dst_link._resv:
             self._resequence(dst_link, 0)
@@ -542,6 +542,31 @@ class Fabric:
         if src_nic is not None:
             src_nic.report_error(reason)
 
+    # -- snapshot support (see repro.sim.snapshot) --------------------------
+    def snapshot_state(self) -> dict:
+        """Deterministic-state digest input (see Snapshottable).
+
+        Covers the frame/submit counters and every serializer clock, so
+        a restored fabric whose next frame would be numbered or timed
+        differently yields a different digest.  The eligibility cache is
+        deliberately absent: it is a pure memo over state counted here.
+        """
+        return {
+            "submit_seq": self._submit_seq,
+            "topo_epoch": self._topo_epoch,
+            "flights": len(self._flights),
+            "frames_delivered": self._frames_delivered.value,
+            "frames_lost": self._frames_lost.value,
+            "switch": {
+                "up": self.switch.up,
+                "forwarded": self.switch.frames_forwarded,
+                "dropped": self.switch.frames_dropped,
+            },
+            "links": {
+                name: link.snapshot_state() for name, link in sorted(self.links.items())
+            },
+        }
+
 
 class _DeliverCb:
     """Materialized final-hop continuation (avoids a closure per frame)."""
@@ -557,7 +582,7 @@ class _DeliverCb:
 
 
 class _AtSwitchCb:
-    """Materialized switch-arrival continuation."""
+    """Switch-arrival continuation (avoids a closure per slow frame)."""
 
     __slots__ = ("fabric", "frame", "wire", "seq")
 
@@ -569,3 +594,18 @@ class _AtSwitchCb:
 
     def __call__(self) -> None:
         self.fabric._at_switch(self.frame, self.wire, self.seq)
+
+
+class _AtDstLinkCb:
+    """Switch-forwarding continuation (avoids a closure per slow frame)."""
+
+    __slots__ = ("fabric", "frame", "wire", "seq")
+
+    def __init__(self, fabric: Fabric, frame: Frame, wire: int, seq: int):
+        self.fabric = fabric
+        self.frame = frame
+        self.wire = wire
+        self.seq = seq
+
+    def __call__(self) -> None:
+        self.fabric._at_dst_link(self.frame, self.wire, self.seq)

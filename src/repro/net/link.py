@@ -32,6 +32,15 @@ def intra_cluster_kind(kind: str) -> bool:
     return not kind.startswith("http")
 
 
+def drop_all_kinds(kind: str) -> bool:
+    """Down-filter for a total fail-stop: no traffic class is carried.
+
+    A module-level function (not a lambda) so that a failed link pickles
+    by reference in simulation snapshots.
+    """
+    return True
+
+
 class Link:
     """A unidirectionally-modeled full-duplex link.
 
@@ -89,7 +98,7 @@ class Link:
     def fail(self) -> None:
         """Fail-stop: the link carries nothing until :meth:`repair`."""
         self._notify_fabric()
-        self._down_filter = lambda kind: True
+        self._down_filter = drop_all_kinds
 
     def fail_for(self, predicate: Callable[[str], bool]) -> None:
         """Fail-stop for frame kinds matching ``predicate`` only.
@@ -149,6 +158,16 @@ class Link:
     def utilization_horizon(self, direction: str) -> float:
         """Time at which the serializer frees up (test/diagnostic aid)."""
         return self._busy_until[direction]
+
+    def snapshot_state(self) -> dict:
+        """Deterministic-state digest input (see repro.sim.snapshot)."""
+        return {
+            "up": self.up,
+            "busy": dict(self._busy_until),
+            "reservations": len(self._resv),
+            "carried": self._frames_carried.value,
+            "lost": self._frames_lost.value,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "up" if self.up else "DOWN"

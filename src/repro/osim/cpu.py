@@ -16,7 +16,7 @@ work item with a CPU cost.  The queue:
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Optional, Tuple
+from typing import Callable, Deque, Optional
 
 from ..sim.engine import Engine, Event, Timer
 
@@ -25,19 +25,24 @@ def _noop() -> None:
     """Placeholder body for pure CPU-charge items."""
 
 
+#: Shared empty argument tuple for no-arg items (avoids rebuilding one
+#: per submission on the hot path).
+_NO_ARGS: tuple = ()
+
+
 class WorkQueue:
     """Serial executor with cost-weighted items, blocking, freeze, kill."""
 
     def __init__(self, engine: Engine, name: str = "cpu"):
         self.engine = engine
         self.name = name
-        self._items: Deque[Tuple[float, Callable]] = deque()
+        self._items: Deque[tuple] = deque()
         self._busy = False
         self._frozen = False
         self._dead = False
         self._block_event: Optional[Event] = None
         self._completion: Optional[Timer] = None
-        self._current: Optional[Tuple[float, Callable]] = None
+        self._current: Optional[tuple] = None
         self.items_executed = 0
         self.busy_time = 0.0
 
@@ -59,18 +64,23 @@ class WorkQueue:
         return len(self._items)
 
     # -- submission ----------------------------------------------------------
-    def submit(self, cost: float, fn: Callable) -> None:
-        """Queue ``fn`` to run after ``cost`` seconds of CPU time."""
+    def submit(self, cost: float, fn: Callable, *args) -> None:
+        """Queue ``fn(*args)`` to run after ``cost`` seconds of CPU time.
+
+        Passing arguments positionally (rather than closing over them)
+        keeps the per-request path free of closure allocation and keeps
+        queued work picklable for simulation snapshots.
+        """
         if self._dead:
             return
-        self._items.append((cost, fn))
+        self._items.append((cost, fn, args))
         self._maybe_start()
 
-    def submit_front(self, cost: float, fn: Callable) -> None:
+    def submit_front(self, cost: float, fn: Callable, *args) -> None:
         """Queue at the head (priority work such as error handling)."""
         if self._dead:
             return
-        self._items.appendleft((cost, fn))
+        self._items.appendleft((cost, fn, args))
         self._maybe_start()
 
     def charge(self, cost: float) -> None:
@@ -82,7 +92,7 @@ class WorkQueue:
         """
         if self._dead or cost <= 0:
             return
-        self._items.appendleft((cost, _noop))
+        self._items.appendleft((cost, _noop, _NO_ARGS))
         self._maybe_start()
 
     # -- blocking ------------------------------------------------------------
@@ -155,28 +165,40 @@ class WorkQueue:
             or not self._items
         ):
             return
-        cost, fn = self._items.popleft()
+        item = self._items.popleft()
         self._busy = True
-        self._current = (cost, fn)
-        self.busy_time += cost
+        self._current = item
+        self.busy_time += item[0]
         self._completion = self.engine.call_after(
-            cost, self._complete, cost, fn
+            item[0], self._complete, item
         )
 
-    def _complete(self, cost: float, fn: Callable) -> None:
+    def _complete(self, item: tuple) -> None:
         self._completion = None
         self._current = None
         if self._dead:
             return
         if self._frozen:
             # Freeze raced with completion; defer the item.
-            self._items.appendleft((0.0, fn))
+            self._items.appendleft((0.0, item[1], item[2]))
             self._busy = False
             return
         self._busy = False
         self.items_executed += 1
-        fn()  # fn may block the queue or submit more work
+        item[1](*item[2])  # fn may block the queue or submit more work
         self._maybe_start()
+
+    def snapshot_state(self) -> dict:
+        """Deterministic-state digest input (see repro.sim.snapshot)."""
+        return {
+            "depth": len(self._items),
+            "busy": self._busy,
+            "frozen": self._frozen,
+            "dead": self._dead,
+            "blocked": self._block_event is not None,
+            "items_executed": self.items_executed,
+            "busy_time": self.busy_time,
+        }
 
     def utilization(self, elapsed: float) -> float:
         """Fraction of ``elapsed`` spent executing items."""

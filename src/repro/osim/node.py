@@ -69,8 +69,12 @@ class Node:
         # executes nothing; a stopped one holds its work.
         self.process.on_stop.append(self.cpu.freeze)
         self.process.on_cont.append(self.cpu.unfreeze)
-        self.process.on_death.append(lambda reason: self.cpu.kill())
+        self.process.on_death.append(self._on_process_death)
         self.process.on_start.append(self.cpu.resurrect)
+
+    def _on_process_death(self, reason: str) -> None:
+        """Process lifecycle hook: a dead process executes nothing."""
+        self.cpu.kill()
 
     # ------------------------------------------------------------------
     # Machine-level faults
@@ -124,32 +128,59 @@ class Node:
     # ------------------------------------------------------------------
     # Disk service
     # ------------------------------------------------------------------
-    def disk_read(self, nbytes: int, done: Callable[[], None]) -> None:
-        """Read ``nbytes`` through a disk thread, then call ``done``.
+    def disk_read(self, nbytes: int, done: Callable, *args) -> None:
+        """Read ``nbytes`` through a disk thread, then call ``done(*args)``.
 
         Models the PRESS disk-helper threads: bounded parallelism, fixed
-        access latency plus transfer time.
+        access latency plus transfer time.  Arguments are passed
+        positionally (no closures), so in-flight reads pickle cleanly in
+        simulation snapshots.
         """
         grant = self.disks.acquire()
+        grant.add_callback(_DiskGrantCb(self, nbytes, done, args))
 
-        def granted(_ev) -> None:
-            service = self.disk_access_time + nbytes / 40_000_000  # 40 MB/s
-            self.engine.call_after(service, self._disk_done, done)
+    def _disk_granted(self, nbytes: int, done: Callable, args: tuple) -> None:
+        service = self.disk_access_time + nbytes / 40_000_000  # 40 MB/s
+        self.engine.call_after(service, self._disk_done, done, args)
 
-        grant.add_callback(granted)
-
-    def _disk_done(self, done: Callable[[], None]) -> None:
+    def _disk_done(self, done: Callable, args: tuple) -> None:
         self.disks.release()
         if self.up and self.process.running:
-            done()
+            done(*args)
 
     @property
     def operational(self) -> bool:
         """Machine up and the hosted process running (not hung/dead)."""
         return self.up and self.process.running
 
+    def snapshot_state(self) -> dict:
+        """Deterministic-state digest input (see repro.sim.snapshot)."""
+        return {
+            "up": self.up,
+            "frozen": self.frozen,
+            "process_running": self.process.running,
+            "crashes": self._crashes.value,
+            "cpu": self.cpu.snapshot_state(),
+            "disks_in_use": self.disks.in_use,
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "up" if self.up else "DOWN"
         if self.frozen:
             state = "frozen"
         return f"<Node {self.node_id} {state}>"
+
+
+class _DiskGrantCb:
+    """Pending disk-thread grant continuation (picklable, no closure)."""
+
+    __slots__ = ("node", "nbytes", "done", "args")
+
+    def __init__(self, node: Node, nbytes: int, done: Callable, args: tuple):
+        self.node = node
+        self.nbytes = nbytes
+        self.done = done
+        self.args = args
+
+    def __call__(self, _ev) -> None:
+        self.node._disk_granted(self.nbytes, self.done, self.args)

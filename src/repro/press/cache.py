@@ -129,6 +129,21 @@ class FileCache:
         self._fire("add", file_id)
         return True
 
+    def snapshot_state(self) -> dict:
+        """Deterministic-state digest input (see repro.sim.snapshot).
+
+        LRU *order* matters (it decides the next eviction), so the entry
+        list is ordered, not sorted.
+        """
+        return {
+            "entries": list(self._entries.items()),
+            "used_bytes": self.used_bytes,
+            "hits": self._hits.value,
+            "misses": self._misses.value,
+            "evictions": self._evictions.value,
+            "pin_failures": self._pin_failures.value,
+        }
+
     def _evict_lru(self) -> None:
         file_id, size = self._entries.popitem(last=False)
         self.used_bytes -= size

@@ -349,6 +349,52 @@ class PressCluster:
         return True
 
     # ------------------------------------------------------------------
+    # Snapshot support (see repro.sim.snapshot)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Deterministic-state digest over the whole cluster.
+
+        Aggregates every Snapshottable component: engine clock/seq, RNG
+        stream positions, fabric/link serializer clocks, per-node
+        CPU/disk state, transport channel states, and each server's
+        cache and membership.  Equal digests before capture and after
+        restore certify a faithful checkpoint round trip
+        (see :func:`repro.sim.snapshot.state_digest`).
+        """
+        servers = {}
+        for node_id, server in sorted(self.servers.items()):
+            servers[node_id] = {
+                "cache": (
+                    server.cache.snapshot_state()
+                    if server.cache is not None
+                    else None
+                ),
+                "membership": (
+                    server.membership.snapshot_state()
+                    if server.membership is not None
+                    else None
+                ),
+                "local_serves": server.local_serves,
+                "remote_serves": server.remote_serves,
+            }
+        return {
+            "config": self.config.name,
+            "engine": self.engine.snapshot_state(),
+            "rng": self.rng.snapshot_state(),
+            "fabric": self.fabric.snapshot_state(),
+            "nodes": {
+                node_id: node.snapshot_state()
+                for node_id, node in sorted(self.nodes.items())
+            },
+            "transports": {
+                node_id: t.snapshot_state()
+                for node_id, t in sorted(self.transports.items())
+            },
+            "servers": servers,
+            "started": self._started,
+        }
+
+    # ------------------------------------------------------------------
     # Measurement helpers
     # ------------------------------------------------------------------
     def measured_rate(self, start: float, end: float) -> float:

@@ -81,7 +81,11 @@ class HttpPort:
             self._refuse(req)
             return
         self.accepted += 1
-        self.node.cpu.submit(self.parse_cost, lambda: self.on_request(req))
+        self.node.cpu.submit(self.parse_cost, self._dispatch, req)
+
+    def _dispatch(self, req: HttpRequest) -> None:
+        """Parsed-request work item (indirect so ``on_request`` rebinds)."""
+        self.on_request(req)
 
     def _refuse(self, req: HttpRequest) -> None:
         self.refused += 1

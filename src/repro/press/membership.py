@@ -92,6 +92,7 @@ class Membership:
         self._ring_changed_at = 0.0
         self._incarnation = 0
         self._joining = False
+        self._join_connects_left = 0
         self.joined_cluster = False
         self._exclusions = bound_counter(
             engine, "press.membership.exclusions", node=self_id
@@ -355,26 +356,30 @@ class Membership:
             return
         self._joining = False
         targets = [m for m in members if m != self.self_id]
-        remaining = {"n": len(targets)}
-
-        def connected(peer: str, ok: bool) -> None:
-            if not self._fresh():
-                return
-            if ok:
-                self.include(peer)
-            remaining["n"] -= 1
-            if remaining["n"] == 0:
-                self.joined_cluster = True
-                self._publish(MEMBERSHIP_JOINED, members=sorted(self.members))
-                self.annotate("rejoined", self.self_id)
-                self.on_joined(list(self.members))
-
         if not targets:
             self.joined_cluster = True
             self.on_joined(list(self.members))
             return
+        # A membership object lives for exactly one process incarnation
+        # (the server rebuilds it on start) and a second join response is
+        # gated on ``_joining``, so one pending-connect counter suffices;
+        # instance state instead of a closure keeps the pending connect
+        # callbacks picklable for simulation snapshots.
+        self._join_connects_left = len(targets)
         for peer in targets:
-            self.connect_to(peer, lambda ok, p=peer: connected(p, ok))
+            self.connect_to(peer, _JoinConnectCb(self, peer))
+
+    def _join_connected(self, peer: str, ok: bool) -> None:
+        if not self._fresh():
+            return
+        if ok:
+            self.include(peer)
+        self._join_connects_left -= 1
+        if self._join_connects_left == 0:
+            self.joined_cluster = True
+            self._publish(MEMBERSHIP_JOINED, members=sorted(self.members))
+            self.annotate("rejoined", self.self_id)
+            self.on_joined(list(self.members))
 
     # ------------------------------------------------------------------
     # Datagram dispatch (wired to transport.on_datagram by the server)
@@ -409,7 +414,48 @@ class Membership:
             if included != self.self_id and included not in self.members:
                 # Connect first; our side includes on connect success and
                 # the other side includes on accept.
-                self.connect_to(
-                    included,
-                    lambda ok, p=included: self.include(p) if ok else None,
-                )
+                self.connect_to(included, _IncludeConnectCb(self, included))
+
+    # ------------------------------------------------------------------
+    # Snapshot support (see repro.sim.snapshot)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Deterministic-state digest input (see Snapshottable)."""
+        return {
+            "members": sorted(self.members),
+            "incarnation": self._incarnation,
+            "joining": self._joining,
+            "joined": self.joined_cluster,
+            "last_heard": {
+                peer: t for peer, t in sorted(self._last_heard.items())
+            },
+            "exclusions": self._exclusions.value,
+            "remerges": self._remerges.value,
+        }
+
+
+class _JoinConnectCb:
+    """Pending join-protocol connect continuation (picklable, no closure)."""
+
+    __slots__ = ("membership", "peer")
+
+    def __init__(self, membership: Membership, peer: str):
+        self.membership = membership
+        self.peer = peer
+
+    def __call__(self, ok: bool) -> None:
+        self.membership._join_connected(self.peer, ok)
+
+
+class _IncludeConnectCb:
+    """Pending include-broadcast connect continuation."""
+
+    __slots__ = ("membership", "peer")
+
+    def __init__(self, membership: Membership, peer: str):
+        self.membership = membership
+        self.peer = peer
+
+    def __call__(self, ok: bool) -> None:
+        if ok:
+            self.membership.include(self.peer)

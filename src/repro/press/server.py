@@ -211,12 +211,12 @@ class PressServer:
             return
         size = self.fileset.size(req.file_id)
         self._disk_reads.inc()
-        self.node.disk_read(size, lambda: self._disk_done(req, size))
+        self.node.disk_read(size, self._disk_done, req, size)
 
     def _disk_done(self, req: HttpRequest, size: int) -> None:
         """Disk helper thread finished; hand back to the main loop."""
         self.node.cpu.submit(
-            self.config.http.cache_insert, lambda: self._serve_after_disk(req, size)
+            self.config.http.cache_insert, self._serve_after_disk, req, size
         )
 
     def _serve_after_disk(self, req: HttpRequest, size: int) -> None:
@@ -281,11 +281,20 @@ class PressServer:
         size = self.fileset.size(file_id)
         self._disk_reads.inc()
         self.node.disk_read(
+            size, self._remote_read_done, origin_id, req_id, file_id, size
+        )
+
+    def _remote_read_done(
+        self, origin_id: str, req_id: int, file_id: str, size: int
+    ) -> None:
+        """Disk helper finished a forwarded read; back to the main loop."""
+        self.node.cpu.submit(
+            self.config.http.cache_insert,
+            self._remote_disk_done,
+            origin_id,
+            req_id,
+            file_id,
             size,
-            lambda: self.node.cpu.submit(
-                self.config.http.cache_insert,
-                lambda: self._remote_disk_done(origin_id, req_id, file_id, size),
-            ),
         )
 
     def _remote_disk_done(

@@ -428,6 +428,34 @@ class Engine:
             self._running = False
 
     # ------------------------------------------------------------------
+    # Snapshot support (see repro.sim.snapshot)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle support for deterministic checkpoints.
+
+        Capturing mid-callback is forbidden: the in-flight event's
+        continuation lives on the C stack, not in the heap.  The timer
+        freelist is dropped — recycled handles are reachable only from
+        the engine and carry no simulation state, so shedding them
+        shrinks the blob without affecting determinism (object *reuse*
+        patterns differ after restore, object *behaviour* does not).
+        """
+        if self._running:
+            raise SimulationError("cannot snapshot a running engine")
+        state = self.__dict__.copy()
+        state["_freelist"] = []
+        return state
+
+    def snapshot_state(self) -> dict:
+        """Deterministic-state digest input (see Snapshottable)."""
+        return {
+            "now": self.now,
+            "seq": self._seq,
+            "events_processed": self._events_processed,
+            "pending": self._live,
+        }
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property

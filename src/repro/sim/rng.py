@@ -47,6 +47,22 @@ class RngRegistry:
         """
         return RngRegistry(derive_seed(self.master_seed, name))
 
+    def snapshot_state(self) -> dict:
+        """Deterministic-state digest input (see repro.sim.snapshot).
+
+        Each stream's Mersenne Twister position is hashed, so a restored
+        registry that would produce even one different draw produces a
+        different digest.
+        """
+        from .snapshot import rng_digest
+
+        return {
+            "master_seed": self.master_seed,
+            "streams": {
+                name: rng_digest(rng) for name, rng in sorted(self._streams.items())
+            },
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<RngRegistry seed={self.master_seed}"

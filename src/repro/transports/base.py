@@ -189,6 +189,24 @@ class Transport:
             msg = fn(msg)
         return msg
 
+    # -- snapshot support (see repro.sim.snapshot) ---------------------------
+    def snapshot_state(self) -> dict:
+        """Deterministic-state digest input (see Snapshottable).
+
+        Message ids are deliberately absent: they come from a module
+        counter whose absolute position is process-local and
+        unobservable (serial/parallel campaign parity already relies on
+        that), so folding them in would poison warm/cold comparisons.
+        """
+        return {
+            "node": self.node_id,
+            "channels": {
+                peer: {"broken": ch.broken, "reason": ch.break_reason}
+                for peer, ch in sorted(self.channels.items())
+            },
+            "interposers": len(self.send_interposers),
+        }
+
     # -- helpers for subclasses ----------------------------------------------
     def _deliver_up(self, peer: str, msg: Message) -> None:
         if self.on_message is not None:

@@ -244,9 +244,7 @@ class TcpTransport(Transport):
         self.endpoints[frame.src] = ep
         self._send_ctrl(frame.src, "tcp-synack", gen)
         if self.on_accept is not None:
-            self.node.cpu.submit(
-                _NOTIFY_COST, lambda p=frame.src: self._notify_accept(p)
-            )
+            self.node.cpu.submit(_NOTIFY_COST, self._notify_accept, frame.src)
 
     def _notify_accept(self, peer: str) -> None:
         if self.on_accept is not None:
@@ -306,9 +304,7 @@ class TcpTransport(Transport):
                     reason=reason,
                 )
         if notify and not already_broken:
-            self.node.cpu.submit(
-                _NOTIFY_COST, lambda: self._break_up(ep.peer, reason)
-            )
+            self.node.cpu.submit(_NOTIFY_COST, self._break_up, ep.peer, reason)
 
     def _deliver_record(self, ep: TcpEndpoint, record: StreamRecord) -> None:
         """A complete framed message sits in the receive buffer.
@@ -328,8 +324,7 @@ class TcpTransport(Transport):
         ep.consume(record)
         msg = record.msg
         self.node.cpu.submit(
-            self.costs.recv_cost(msg),
-            lambda: self._deliver_up(ep.peer, msg),
+            self.costs.recv_cost(msg), self._deliver_up, ep.peer, msg
         )
 
     def _on_process_cont(self) -> None:
@@ -343,8 +338,7 @@ class TcpTransport(Transport):
         self._record_framing_error(ep)
         ep.consume(record)
         self.node.cpu.submit(
-            _NOTIFY_COST,
-            lambda: self._fatal_up(f"framing-corruption:{ep.peer}"),
+            _NOTIFY_COST, self._fatal_up, f"framing-corruption:{ep.peer}"
         )
 
     # -- cost model (used by the server for sizing its work items) --------

@@ -184,8 +184,7 @@ class ViaChannel(Channel):
         transport = self.transport
         self._return_credit()
         transport.node.cpu.submit(
-            transport.costs.recv_cost(msg),
-            lambda: self._consume(msg),
+            transport.costs.recv_cost(msg), self._consume, msg
         )
 
     def drain_frozen(self) -> None:

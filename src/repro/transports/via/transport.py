@@ -322,9 +322,7 @@ class ViaTransport(Transport):
         self.channels[frame.src] = channel
         self._send_accept(frame.src, gen)
         if self.on_accept is not None:
-            self.node.cpu.submit(
-                _NOTIFY_COST, lambda p=frame.src: self._notify_accept(p)
-            )
+            self.node.cpu.submit(_NOTIFY_COST, self._notify_accept, frame.src)
 
     def _notify_accept(self, peer: str) -> None:
         if self.on_accept is not None:
@@ -432,7 +430,7 @@ class ViaTransport(Transport):
             self._local_fatal(f"remote-descriptor-error:{kind_value}")
 
     def _local_fatal(self, reason: str) -> None:
-        self.node.cpu.submit(_NOTIFY_COST, lambda: self._fatal_up(reason))
+        self.node.cpu.submit(_NOTIFY_COST, self._fatal_up, reason)
 
     # ------------------------------------------------------------------
     # Upcalls
@@ -455,9 +453,7 @@ class ViaTransport(Transport):
                     reason=reason,
                 )
         if notify and not already:
-            self.node.cpu.submit(
-                _NOTIFY_COST, lambda: self._break_up(channel.peer, reason)
-            )
+            self.node.cpu.submit(_NOTIFY_COST, self._break_up, channel.peer, reason)
 
     # -- cost model ----------------------------------------------------------
     def send_cost(self, msg: Message) -> float:

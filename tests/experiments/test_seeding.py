@@ -1,28 +1,35 @@
 """Regression tests for per-cell seed derivation.
 
-The historical scheme ``settings.seed + 101 * rep`` collides across
-nearby base seeds: seed=1/rep=1 lands on 102, the same universe as
-base seed 102's rep 0, silently correlating campaigns that should be
-independent.  The stable-hash derivation must keep every cell of the
-campaign grid on its own seed — for one base seed and across them.
+Seeds are derived per *warm group* — one (base seed, version,
+replication) under one warm-segment layout.  The fault kind is
+deliberately **not** part of the derivation: the baseline and every
+fault cell of a group share a seed, which makes their pre-injection
+trajectories identical (the warm-start checkpoint cache depends on it,
+and the extraction thresholds get a Tn correlated with the run they
+judge).  Everything else must keep distinct groups on distinct seeds —
+the historical ``settings.seed + 101 * rep`` arithmetic collides across
+nearby base seeds: seed=1/rep=1 lands on 102, the same universe as base
+seed 102's rep 0, silently correlating campaigns that should be
+independent.
 """
 
 import pytest
 
-from repro.experiments.runner import cell_seed
-from repro.experiments.settings import CAMPAIGN_FAULTS
+from repro.experiments.runner import CampaignRunner, cell_seed
+from repro.experiments.settings import CAMPAIGN_FAULTS, Phase1Settings
+from repro.press.cluster import SMOKE_SCALE
 from repro.press.config import ALL_VERSIONS
 
-FAULTS = [None] + [k.value for k in CAMPAIGN_FAULTS]  # None = baseline
 VERSIONS = list(ALL_VERSIONS)
 REPS = range(5)
+LAYOUT = {"warm": 60.0, "fault_at": 180.0}
 
 
-def _grid_seeds(base_seed):
+def _grid_seeds(base_seed, **layout):
+    layout = layout or LAYOUT
     return {
-        (v, f, r): cell_seed(base_seed, v, f, r)
+        (v, r): cell_seed(base_seed, v, r, **layout)
         for v in VERSIONS
-        for f in FAULTS
         for r in REPS
     }
 
@@ -32,7 +39,7 @@ def test_old_scheme_collides_across_base_seeds():
     assert 1 + 101 * 1 == 102 + 101 * 0
 
 
-def test_distinct_cells_never_share_a_seed_within_a_campaign():
+def test_distinct_groups_never_share_a_seed_within_a_campaign():
     for base in (0, 1, 7, 1234):
         seeds = _grid_seeds(base)
         assert len(set(seeds.values())) == len(seeds), f"collision at base={base}"
@@ -40,37 +47,65 @@ def test_distinct_cells_never_share_a_seed_within_a_campaign():
 
 def test_no_collisions_across_nearby_base_seeds():
     """The exact failure mode of the linear scheme: consecutive base
-    seeds (a seed sweep) must produce fully disjoint cell seeds."""
+    seeds (a seed sweep) must produce fully disjoint group seeds."""
     all_seeds = {}
     for base in range(0, 32):
         for key, seed in _grid_seeds(base).items():
             assert seed not in all_seeds, (
-                f"base={base} cell={key} reuses the seed of "
+                f"base={base} group={key} reuses the seed of "
                 f"{all_seeds[seed]}"
             )
             all_seeds[seed] = (base, key)
 
 
 def test_derivation_is_deterministic():
-    assert cell_seed(7, "TCP-PRESS", "link-down", 2) == cell_seed(
-        7, "TCP-PRESS", "link-down", 2
+    assert cell_seed(7, "TCP-PRESS", 2, **LAYOUT) == cell_seed(
+        7, "TCP-PRESS", 2, **LAYOUT
     )
 
 
 def test_derivation_is_stable_across_releases():
-    """Pinned literal: an accidental change to the hash recipe would
+    """Pinned literals: an accidental change to the hash recipe would
     silently invalidate every persisted store and every golden result."""
-    assert cell_seed(7, "TCP-PRESS", "link-down", 0) == 1409172571414270150
-    assert cell_seed(7, "TCP-PRESS", None, 0) == 10543370139897681553
+    assert cell_seed(7, "TCP-PRESS", 0, **LAYOUT) == 3965607772954969333
+    assert cell_seed(7, "TCP-PRESS", 1, **LAYOUT) == 11593457414175075745
+    assert (
+        cell_seed(7, "TCP-PRESS", 0, warm=20.0, fault_at=60.0)
+        == 15336483916775543171
+    )
 
 
 def test_every_component_matters():
-    base = cell_seed(7, "TCP-PRESS", "link-down", 1)
-    assert cell_seed(8, "TCP-PRESS", "link-down", 1) != base
-    assert cell_seed(7, "VIA-PRESS-5", "link-down", 1) != base
-    assert cell_seed(7, "TCP-PRESS", "node-crash", 1) != base
-    assert cell_seed(7, "TCP-PRESS", None, 1) != base
-    assert cell_seed(7, "TCP-PRESS", "link-down", 0) != base
+    base = cell_seed(7, "TCP-PRESS", 1, **LAYOUT)
+    assert cell_seed(8, "TCP-PRESS", 1, **LAYOUT) != base
+    assert cell_seed(7, "VIA-PRESS-5", 1, **LAYOUT) != base
+    assert cell_seed(7, "TCP-PRESS", 0, **LAYOUT) != base
+    # The warm-segment layout is part of the derivation: campaigns that
+    # move the injection instant or the warm window judge trajectories
+    # under a different timeline and must not reuse seed universes.
+    assert cell_seed(7, "TCP-PRESS", 1, warm=61.0, fault_at=180.0) != base
+    assert cell_seed(7, "TCP-PRESS", 1, warm=60.0, fault_at=181.0) != base
+
+
+def test_campaign_grid_shares_one_seed_per_group():
+    """Baseline and every fault cell of a (version, rep) group run under
+    one seed — the precondition for warm-start checkpoint sharing."""
+    settings = Phase1Settings(scale=SMOKE_SCALE, seed=7, replications=3)
+    runner = CampaignRunner(settings)
+    baselines, cells = runner._grid(["TCP-PRESS", "VIA-PRESS-5"], tuple(CAMPAIGN_FAULTS))
+    by_group = {}
+    for cell in baselines + cells:
+        by_group.setdefault((cell.version, cell.rep), set()).add(cell.seed)
+    assert len(by_group) == 2 * 3
+    assert all(len(seeds) == 1 for seeds in by_group.values())
+    # ... and the groups are pairwise distinct.
+    flat = [next(iter(s)) for s in by_group.values()]
+    assert len(set(flat)) == len(flat)
+    # The grid seed matches the public derivation at the settings layout.
+    (cell,) = [c for c in baselines if c.version == "TCP-PRESS" and c.rep == 0]
+    assert cell.seed == cell_seed(
+        7, "TCP-PRESS", 0, warm=settings.warm, fault_at=settings.fault_at
+    )
 
 
 def test_seeds_fit_in_64_bits():

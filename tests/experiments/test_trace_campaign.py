@@ -113,7 +113,9 @@ def test_schema_notice_reaches_the_report(tmp_path):
         version="TCP-PRESS",
         settings_key=FAST.cache_key(),
         fault=None,
-        seed=cell_seed(FAST.seed, "TCP-PRESS", None, 0),
+        seed=cell_seed(
+            FAST.seed, "TCP-PRESS", 0, warm=FAST.warm, fault_at=FAST.fault_at
+        ),
         schema=1,
     )
     store.put(key, {"kind": "baseline", "tn": 1.0, "elapsed": 0.0})
