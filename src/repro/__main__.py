@@ -23,20 +23,49 @@ import argparse
 import os
 import sys
 
-from .experiments.settings import Phase1Settings
+from .experiments.settings import (
+    REPETITION_RULES,
+    Phase1Settings,
+    RepetitionPolicy,
+)
 from .experiments.store import CACHE_DIR_ENV
 from .faults.spec import FaultKind
 from .obs.exporters import TRACE_FORMATS
 from .press.cluster import ExperimentScale
 
 
+def _repetition(args: argparse.Namespace):
+    """The adaptive policy from --reps-policy/--reps-max/--rep-budget,
+    or ``None`` (legacy fixed-``replications``)."""
+    if args.reps_policy == "fixed":
+        if args.rep_budget is not None:
+            sys.exit(
+                "repro: --rep-budget needs an adaptive --reps-policy "
+                f"(one of {[r for r in REPETITION_RULES if r != 'fixed']})"
+            )
+        return None
+    try:
+        return RepetitionPolicy(
+            rule=args.reps_policy,
+            min_reps=min(args.replications, args.reps_max),
+            max_reps=args.reps_max,
+            rep_budget=args.rep_budget,
+        )
+    except ValueError as exc:
+        sys.exit(f"repro: {exc}")
+
+
 def _settings(args: argparse.Namespace) -> Phase1Settings:
-    return Phase1Settings(
-        scale=ExperimentScale(cpu_factor=args.scale),
-        seed=args.seed,
-        replications=args.replications,
-        fastpath=not args.no_fastpath,
-    )
+    try:
+        return Phase1Settings(
+            scale=ExperimentScale(cpu_factor=args.scale),
+            seed=args.seed,
+            replications=args.replications,
+            fastpath=not args.no_fastpath,
+            repetition=_repetition(args),
+        )
+    except ValueError as exc:
+        sys.exit(f"repro: {exc}")
 
 
 def cmd_table1(args) -> None:
@@ -120,6 +149,7 @@ def cmd_campaign(args) -> None:
     from .analysis.report import (
         campaign_report,
         campaign_timing_report,
+        repetition_report,
         trace_summary_report,
     )
     from .experiments.campaign import full_campaign_with_report
@@ -127,8 +157,11 @@ def cmd_campaign(args) -> None:
     campaign, timing = full_campaign_with_report(
         _settings(args), versions=args.versions or None
     )
-    print(campaign_report(campaign))
+    print(campaign_report(campaign, replicates=timing.replicates))
     print(campaign_timing_report(timing))
+    reps = repetition_report(timing)
+    if reps:
+        print(reps)
     traces = trace_summary_report(timing)
     if traces:
         print(traces)
@@ -140,12 +173,18 @@ def cmd_store_diff(args) -> None:
     Cells are matched by their logical key (version/fault/seed/schema)
     and compared by :func:`~repro.experiments.store.payload_fingerprint`,
     which ignores the volatile keys (wall-clock, warm-start provenance).
-    Exits non-zero on any missing or differing cell — this is what CI's
-    warm-vs-cold double run drives.
+    A store whose cells predate the current schema is called out as
+    *invalidated* — the next campaign re-runs them, it does not re-read
+    them.  Exits non-zero on any missing or differing cell — this is
+    what CI's warm-vs-cold double run drives.
     """
     from pathlib import Path
 
-    from .experiments.store import DiskStore, payload_fingerprint
+    from .experiments.store import (
+        SCHEMA_VERSION,
+        DiskStore,
+        payload_fingerprint,
+    )
 
     def fingerprints(root: str) -> dict:
         if not Path(root).is_dir():
@@ -159,6 +198,18 @@ def cmd_store_diff(args) -> None:
                 key.get("schema"),
             )
             out[k] = payload_fingerprint(payload)
+        stale = sorted(
+            {k[3] for k in out if (k[3] or 0) < SCHEMA_VERSION}
+        )
+        if stale:
+            n = sum(1 for k in out if (k[3] or 0) < SCHEMA_VERSION)
+            olds = ", ".join(f"v{s}" for s in stale)
+            print(
+                f"store-diff: {root}: {n} cell(s) under stale schema "
+                f"{olds} — invalidated by current schema "
+                f"v{SCHEMA_VERSION}; campaigns re-run these cells "
+                "rather than re-reading them"
+            )
         return out
 
     a = fingerprints(args.store_a)
@@ -260,6 +311,23 @@ def build_parser() -> argparse.ArgumentParser:
                         help="CPU/byte scale factor (larger = faster run)")
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--replications", type=int, default=3)
+    parser.add_argument(
+        "--reps-policy", choices=list(REPETITION_RULES), default="fixed",
+        help="replication stopping rule: fixed (exactly --replications "
+        "per stream, the default), rse (stop when the stream metric's "
+        "relative standard error converges), or ci (stop when its "
+        "Student-t CI half width converges); see EXPERIMENTS.md",
+    )
+    parser.add_argument(
+        "--reps-max", type=int, default=10,
+        help="per-stream replication ceiling for adaptive --reps-policy "
+        "(min is --replications; default 10)",
+    )
+    parser.add_argument(
+        "--rep-budget", type=int, default=None,
+        help="campaign-wide cap on extra replications beyond the "
+        "minimum, spent highest-variance-first (adaptive policies only)",
+    )
     parser.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes for campaign cells (1 = serial)",

@@ -65,6 +65,8 @@ class _Cell:
         self.fault: Optional[str] = key.get("fault")
         self.seed = key.get("seed")
         self.schema = int(key.get("schema", 0))
+        #: replication index (schema v5 key records; None on older rows)
+        self.rep: Optional[int] = key.get("rep")
         self.payload = payload
 
     @property
@@ -129,12 +131,52 @@ def _profile_sets(cells: List[_Cell]) -> Dict[str, ProfileSet]:
     return out
 
 
+def _replicate_sets(cells: List[_Cell]) -> Dict[str, List[ProfileSet]]:
+    """Per-version single-replication ProfileSets (complete reps only).
+
+    Needs schema-v5 key records (which carry the replication index); a
+    replication counts only when its baseline and every fault of the
+    version are present, so each ProfileSet is a self-consistent
+    one-seed view — the CI-band samples.
+    """
+    out: Dict[str, List[ProfileSet]] = {}
+    for version in sorted({c.version for c in cells}):
+        vcells = [
+            c for c in cells if c.version == version and c.rep is not None
+        ]
+        faults = sorted({c.fault for c in vcells if c.fault is not None})
+        if not faults:
+            continue
+        by = {(c.fault, c.rep): c for c in vcells}
+        sets: List[ProfileSet] = []
+        for rep in sorted({c.rep for c in vcells}):
+            base = by.get((None, rep))
+            rest = [by.get((f, rep)) for f in faults]
+            if (
+                base is None
+                or "tn" not in base.payload
+                or any(r is None or "profile" not in r.payload for r in rest)
+            ):
+                continue
+            ps = ProfileSet(version, float(base.payload["tn"]))
+            for r in rest:
+                ps.add(SevenStageProfile.from_dict(r.payload["profile"]))
+            sets.append(ps)
+        if sets:
+            out[version] = sets
+    return out
+
+
 def _performability_section(cells: List[_Cell]) -> List[str]:
+    from ..experiments.performability import banded_evaluation
+
     sets = _profile_sets(cells)
     if not sets:
         return ["<p class='cellnote'>no complete version in the store "
                 "(need a baseline and at least one fault profile)</p>"]
+    replicates = _replicate_sets(cells)
     out: List[str] = []
+    banded_any = False
     for label, load_of in _LOADS:
         load = load_of()
         out.append(f"<h3>fault load: {escape(label)}</h3>")
@@ -149,15 +191,90 @@ def _performability_section(cells: List[_Cell]) -> List[str]:
             )
             skipped = len(load) - len(usable)
             r = evaluate(profiles, usable)
+            bands = banded_evaluation(
+                profiles, replicates.get(version, []), usable
+            )
+
+            def pm(metric: str, fmt: str) -> str:
+                band = bands[metric]
+                if band.n < 2:
+                    return ""
+                return f" ±{band.half_width:{fmt}}"
+
+            if any(b.n >= 2 for b in bands.values()):
+                banded_any = True
             out.append(
                 f"<tr><td class='label'>{escape(version)}</td>"
-                f"<td>{r.availability:.5f}</td>"
+                f"<td>{r.availability:.5f}{pm('AA', '.5f')}</td>"
                 f"<td>{r.unavailability * 100:.3f}</td>"
-                f"<td>{r.average_throughput:.0f}</td>"
-                f"<td>{performability_of(r):.1f}</td>"
+                f"<td>{r.average_throughput:.0f}{pm('AT', '.0f')}</td>"
+                f"<td>{performability_of(r):.1f}{pm('P', '.1f')}</td>"
                 f"<td>{skipped}</td></tr>"
             )
         out.append("</table>")
+    if banded_any:
+        n = max(len(v) for v in replicates.values())
+        out.append(
+            "<p class='cellnote'>± figures are 95% Student-t CI half "
+            f"widths over up to {n} complete replicate(s).</p>"
+        )
+    return out
+
+
+def _replication_section(summaries: Iterable[Tuple[dict, dict]]) -> List[str]:
+    """Per-stream repetition outcome from the store's summary namespace."""
+    rows: List[str] = []
+    totals: Dict[tuple, List[int]] = {}
+    ordered = sorted(
+        summaries,
+        key=lambda kp: (
+            str(kp[0].get("version")),
+            str(kp[0].get("fault") or ""),
+        ),
+    )
+    for key, payload in ordered:
+        policy = tuple(key.get("policy") or ())
+        rule = str(policy[0]) if policy else "?"
+        max_reps = int(policy[2]) if len(policy) > 2 else 0
+        reps = int(payload.get("reps", 0))
+        t = totals.setdefault(policy, [0, 0])
+        t[0] += reps
+        t[1] += max_reps
+        rows.append(
+            f"<tr><td class='label'>{escape(str(key.get('version')))}</td>"
+            f"<td class='label'>{escape(key.get('fault') or 'baseline')}</td>"
+            f"<td class='label'>{escape(rule)}</td>"
+            f"<td>{reps}</td>"
+            f"<td class='label'>{escape(str(payload.get('reason', '')))}</td>"
+            f"<td>{_fmt(payload.get('mean'), 4)}</td>"
+            f"<td>{_fmt(payload.get('ci_half_width'), 4)}</td></tr>"
+        )
+    if not rows:
+        return [
+            "<p class='cellnote'>no repetition summaries stored (pre-v5 "
+            "store, or the campaign has not been re-run since the "
+            "adaptive-replication bump)</p>"
+        ]
+    out = [
+        "<p>how many replications each (version, fault) stream spent, "
+        "and why it stopped.</p>",
+        "<table><tr><th class='label'>version</th>"
+        "<th class='label'>stream</th><th class='label'>policy</th>"
+        "<th>reps</th><th class='label'>stopped</th>"
+        "<th>mean</th><th>ci ±</th></tr>",
+        *rows,
+        "</table>",
+    ]
+    for policy, (spent, ceiling) in sorted(totals.items(), key=str):
+        if not ceiling:
+            continue
+        saved = 100.0 * (1.0 - spent / ceiling)
+        max_reps = int(policy[2]) if len(policy) > 2 else 0
+        out.append(
+            f"<p>policy <b>{escape(str(policy[0]) if policy else '?')}</b>: "
+            f"{spent} reps spent vs {ceiling} at fixed-{max_reps} "
+            f"({saved:.0f}% saved)</p>"
+        )
     return out
 
 
@@ -329,6 +446,7 @@ def render_dashboard(
     cells: Iterable[Tuple[dict, dict]],
     title: str = "PRESS performability campaign",
     source: str = "",
+    summaries: Iterable[Tuple[dict, dict]] = (),
 ) -> str:
     """Render the raw ``(key, payload)`` rows into one HTML document."""
     kept, stale = _collect(cells)
@@ -364,6 +482,7 @@ def render_dashboard(
             "stream.</p>"
         )
     body += ["<h2>performability</h2>", *_performability_section(kept)]
+    body += ["<h2>replication</h2>", *_replication_section(summaries)]
     body += ["<h2>fault matrix</h2>", *_fault_matrix_section(kept)]
     body += ["<h2>timelines</h2>", *_timeline_section(kept)]
     body += ["<h2>detector divergence</h2>", *_divergence_section(kept)]
@@ -387,10 +506,13 @@ def dashboard_from_store(cache_dir, out_path=None) -> Path:
     cache_dir = Path(cache_dir)
     if not cache_dir.is_dir():
         raise ValueError(f"{cache_dir}: not a directory")
-    rows = list(DiskStore(cache_dir).iter_cells())
+    store = DiskStore(cache_dir)
+    rows = list(store.iter_cells())
     if not rows:
         raise ValueError(f"{cache_dir}: no campaign cells found")
-    html_text = render_dashboard(rows, source=str(cache_dir))
+    html_text = render_dashboard(
+        rows, source=str(cache_dir), summaries=list(store.iter_summaries())
+    )
     out = Path(out_path) if out_path else cache_dir / "dashboard.html"
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(html_text, encoding="utf-8")

@@ -31,15 +31,37 @@ def profile_table(profiles: ProfileSet) -> str:
     return "\n".join(lines)
 
 
-def result_summary(result: PerformabilityResult) -> str:
-    """One model evaluation: headline numbers + contribution chart."""
+def result_summary(
+    result: PerformabilityResult, bands: Optional[Mapping] = None
+) -> str:
+    """One model evaluation: headline numbers + contribution chart.
+
+    ``bands`` (optional) maps ``"AA"/"AT"/"P"`` to
+    :class:`~repro.experiments.performability.MetricBand`; when at least
+    two complete replicates back a band, the headline carries ± CI half
+    widths.
+    """
+
+    def pm(metric: str, fmt: str) -> str:
+        band = (bands or {}).get(metric)
+        if band is None or band.n < 2:
+            return ""
+        return f" ±{band.half_width:{fmt}}"
+
     lines = [
-        f"{result.version}: AA = {result.availability:.5f}"
+        f"{result.version}: AA = {result.availability:.5f}{pm('AA', '.5f')}"
         f"  (unavailability {result.unavailability * 100:.3f}%)"
-        f"  AT = {result.average_throughput:.0f} req/s"
-        f"  P = {performability_of(result):.1f}",
-        "unavailability contributions:",
+        f"  AT = {result.average_throughput:.0f}{pm('AT', '.0f')} req/s"
+        f"  P = {performability_of(result):.1f}{pm('P', '.1f')}",
     ]
+    banded = [b for b in (bands or {}).values() if b.n >= 2]
+    if banded:
+        b = banded[0]
+        lines.append(
+            f"  (±: {b.confidence:.0%} Student-t CI over {b.n} "
+            "complete replicate(s))"
+        )
+    lines.append("unavailability contributions:")
     rows = {
         c.name: c.unavailability * 100
         for c in sorted(result.contributions, key=lambda c: -c.unavailability)
@@ -61,8 +83,14 @@ def category_breakdown(result: PerformabilityResult) -> Dict[str, float]:
 def campaign_report(
     campaign: Mapping[str, ProfileSet],
     loads: Optional[Mapping[str, FaultLoad]] = None,
+    replicates: Optional[Mapping[str, Iterable[ProfileSet]]] = None,
 ) -> str:
-    """The full phase-1 + phase-2 story for a set of versions."""
+    """The full phase-1 + phase-2 story for a set of versions.
+
+    ``replicates`` (optional, from ``CampaignReport.replicates``) maps a
+    version to its per-replication ProfileSets; when given, the phase-2
+    summaries carry Student-t CI bands on AA, AT, and P.
+    """
     if loads is None:
         loads = {
             "app faults 1/day": FaultLoad.table3(app_fault_mttf=DAY),
@@ -86,9 +114,48 @@ def campaign_report(
                     f"(note: {skipped} fault sources without measured"
                     f" profiles were skipped for {version})"
                 )
-            sections.append(result_summary(evaluate(profiles, usable)))
+            bands = None
+            reps = list((replicates or {}).get(version) or [])
+            if reps:
+                from ..experiments.performability import banded_evaluation
+
+                bands = banded_evaluation(profiles, reps, usable)
+            sections.append(
+                result_summary(evaluate(profiles, usable), bands)
+            )
             sections.append("")
     return "\n".join(sections)
+
+
+def repetition_report(report) -> str:
+    """Per-stream replication outcome of a ``CampaignReport``.
+
+    One row per (version, fault) stream — reps spent, why the stream
+    stopped, and the stream metric's CI at that moment — plus the
+    campaign's reps-spent-vs-fixed savings line.
+    """
+    if not report.repetition:
+        return ""
+    lines = [
+        f"replication ({report.policy} policy):",
+        f"  {'stream':42s} {'reps':>4s}  {'reason':16s}"
+        f" {'mean':>10s} {'rse':>7s} {'ci±':>9s}",
+    ]
+    for r in report.repetition:
+        rse = "—" if r.rse != r.rse or r.rse == float("inf") else f"{r.rse:.4f}"
+        lines.append(
+            f"  {r.label:42s} {r.reps:4d}  {r.reason:16s}"
+            f" {r.mean:10.4f} {rse:>7s} {r.ci_half_width:9.4f}"
+        )
+    ceiling = report.reps_ceiling
+    line = (
+        f"  reps spent: {report.reps_spent} of {ceiling} "
+        f"(fixed-{report.reps_ceiling_per_stream} ceiling)"
+    )
+    if report.policy != "fixed":
+        line += f" — {report.reps_saved_fraction * 100:.0f}% saved"
+    lines.append(line)
+    return "\n".join(lines)
 
 
 def campaign_timing_report(report) -> str:

@@ -29,6 +29,87 @@ from .settings import DEFAULT_SETTINGS, Phase1Settings
 TCP_VERSIONS = ("TCP-PRESS", "TCP-PRESS-HB")
 VIA_VERSIONS = ("VIA-PRESS-0", "VIA-PRESS-3", "VIA-PRESS-5")
 
+
+# ---------------------------------------------------------------------------
+# CI bands: phase-2 metrics with replication uncertainty
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MetricBand:
+    """One phase-2 metric with its replication confidence interval.
+
+    ``value`` is the point estimate from the *merged* campaign (the
+    number every fixed-rep report has always printed); the band is a
+    Student-t interval over per-replicate evaluations, so it reflects
+    seed-to-seed spread — zero when fewer than two complete replicates
+    exist.
+    """
+
+    metric: str  # "AA" | "AT" | "P"
+    value: float
+    mean: float
+    half_width: float
+    n: int
+    confidence: float
+
+    @property
+    def lo(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def hi(self) -> float:
+        return self.mean + self.half_width
+
+    def covers(self, x: float) -> bool:
+        return self.lo <= x <= self.hi
+
+
+def _usable_load(load: FaultLoad, profiles: ProfileSet) -> FaultLoad:
+    """The components of ``load`` this (possibly partial) set measured."""
+    return FaultLoad(components=tuple(c for c in load if c.key in profiles))
+
+
+def banded_evaluation(
+    profiles: ProfileSet,
+    replicates: List[ProfileSet],
+    load: FaultLoad,
+    confidence: float = 0.95,
+) -> Dict[str, MetricBand]:
+    """AA / AT / P of the merged campaign, banded by replicate spread.
+
+    Each replicate ProfileSet (one complete replication of every stream,
+    as collected on ``CampaignReport.replicates``) is evaluated against
+    the same fault load; the per-replicate metrics give the Student-t
+    half widths around the merged point estimates.
+    """
+    from .repeaters import ci_half_width, sample_stats
+
+    merged = evaluate(profiles, _usable_load(load, profiles))
+    point = {
+        "AA": merged.availability,
+        "AT": merged.average_throughput,
+        "P": performability_of(merged),
+    }
+    samples: Dict[str, List[float]] = {"AA": [], "AT": [], "P": []}
+    for ps in replicates:
+        r = evaluate(ps, _usable_load(load, ps))
+        samples["AA"].append(r.availability)
+        samples["AT"].append(r.average_throughput)
+        samples["P"].append(performability_of(r))
+    out: Dict[str, MetricBand] = {}
+    for metric in ("AA", "AT", "P"):
+        xs = samples[metric]
+        mean = sample_stats(xs)[0] if xs else point[metric]
+        out[metric] = MetricBand(
+            metric=metric,
+            value=point[metric],
+            mean=mean,
+            half_width=ci_half_width(xs, confidence),
+            n=len(xs),
+            confidence=confidence,
+        )
+    return out
+
 #: Base per-node application fault rate used in the §6.3 sensitivity
 #: figures.  The paper studies the 1/day..1/month band and does not state
 #: which point its sensitivity plots fix; the once-per-month end — the

@@ -42,8 +42,14 @@ from ..core.stages import SevenStageProfile, average_profiles
 from ..faults.spec import FaultKind
 from ..obs.metrics import MetricsRegistry
 from ..press.config import ALL_VERSIONS_EXTENDED
+from .repeaters import (
+    REASON_BUDGET,
+    Decision,
+    RepBudget,
+    make_rule,
+)
 from .settings import CAMPAIGN_FAULTS, FAULT_MTTR, Phase1Settings
-from .store import CellKey, DiskStore, MemoryStore, ResultStore
+from .store import CellKey, DiskStore, MemoryStore, ResultStore, SummaryKey
 from .warmstart import (
     STATUS_COLD,
     STATUS_HIT,
@@ -295,6 +301,47 @@ class CellRecord:
     warm: Optional[str] = None
 
 
+@dataclass(frozen=True)
+class StreamRecord:
+    """How one replication stream ended: reps spent, and why it stopped.
+
+    A stream is the replication series of one (version, fault) pair —
+    ``fault=None`` is the baseline stream (judged on Tn; fault streams
+    are judged on run availability).  The CI fields describe the
+    Student-t interval of the stream metric at the moment the rule
+    fired, which is exactly the band the dashboard reports.
+    """
+
+    version: str
+    fault: Optional[str]
+    metric: str  # "tn" | "availability"
+    reps: int
+    reason: str  # a repeaters.REASON_* constant
+    mean: float
+    std: float
+    rse: float
+    ci_half_width: float
+    confidence: float
+
+    @property
+    def label(self) -> str:
+        return f"{self.version}/{self.fault or 'baseline'}"
+
+    def to_payload(self) -> dict:
+        """JSON-ready form persisted as a store repetition summary."""
+        return {
+            "kind": "repetition",
+            "metric": self.metric,
+            "reps": self.reps,
+            "reason": self.reason,
+            "mean": self.mean,
+            "std": self.std,
+            "rse": self.rse,
+            "ci_half_width": self.ci_half_width,
+            "confidence": self.confidence,
+        }
+
+
 @dataclass
 class CampaignReport:
     """Where a campaign's wall-clock went, cell by cell."""
@@ -308,6 +355,31 @@ class CampaignReport:
     #: counts (mirrors the campaign.warm_start.* metrics counters);
     #: empty when warm-start was disabled or every cell was store-cached
     warm_start: Dict[str, int] = field(default_factory=dict)
+    #: the repetition rule that shaped the grid ("fixed" / "rse" / "ci")
+    policy: str = "fixed"
+    #: per-stream replication outcome (reps spent, stopping reason, CI)
+    repetition: List[StreamRecord] = field(default_factory=list)
+    #: max reps the policy allowed per stream (the fixed-N comparison)
+    reps_ceiling_per_stream: int = 0
+    #: per-version replicate ProfileSets — one per *complete* replication
+    #: (a rep every stream of the version ran) — the samples the CI
+    #: bands on AT/AA/P are computed from
+    replicates: Dict[str, List[ProfileSet]] = field(default_factory=dict)
+
+    @property
+    def reps_spent(self) -> int:
+        return sum(r.reps for r in self.repetition)
+
+    @property
+    def reps_ceiling(self) -> int:
+        """Reps a fixed-``max_reps`` campaign would have spent."""
+        return self.reps_ceiling_per_stream * len(self.repetition)
+
+    @property
+    def reps_saved_fraction(self) -> float:
+        if self.reps_ceiling <= 0:
+            return 0.0
+        return 1.0 - self.reps_spent / self.reps_ceiling
 
     @property
     def executed(self) -> int:
@@ -371,7 +443,12 @@ class _Cell:
             settings_key=settings_key,
             fault=self.fault,
             seed=self.seed,
+            rep=self.rep,
         )
+
+    @property
+    def stream(self) -> Tuple[str, Optional[str]]:
+        return (self.version, self.fault)
 
 
 class CampaignRunner:
@@ -400,38 +477,26 @@ class CampaignRunner:
         self.on_cell = on_cell
         self.trace_dir = str(trace_dir) if trace_dir is not None else None
         self.trace_format = trace_format
+        #: run-scoped warm-checkpoint spool (in-memory parallel runs)
+        self._spool = None
         self.warm_start = warm_start
-        #: campaign-level observability (campaign.warm_start.* counters)
+        #: campaign-level observability (campaign.warm_start.* and
+        #: campaign.reps.* counters)
         self.metrics = MetricsRegistry()
-        self._settings_key = settings.cache_key()
+        self._settings_key = settings.sim_key()
 
     # -- grid ----------------------------------------------------------
-    def _grid(
-        self, versions: Iterable[str], faults: Tuple[FaultKind, ...]
-    ) -> Tuple[List[_Cell], List[_Cell]]:
-        reps = range(max(1, self.settings.replications))
-        base = self.settings.seed
-        seeds = {
-            (v, r): cell_seed(
-                base,
-                v,
-                r,
-                warm=self.settings.warm,
-                fault_at=self.settings.fault_at,
-            )
-            for v in versions
-            for r in reps
-        }
-        baselines = [
-            _Cell(v, None, r, seeds[(v, r)]) for v in versions for r in reps
-        ]
-        cells = [
-            _Cell(v, f.value, r, seeds[(v, r)])
-            for v in versions
-            for r in reps
-            for f in faults
-        ]
-        return baselines, cells
+    def _seed_for(self, version: str, rep: int) -> int:
+        """The stable per-warm-group seed — unchanged from the fixed-rep
+        scheme, so adaptive campaigns extend a stream with exactly the
+        seeds a bigger fixed campaign would have used."""
+        return cell_seed(
+            self.settings.seed,
+            version,
+            rep,
+            warm=self.settings.warm,
+            fault_at=self.settings.fault_at,
+        )
 
     # -- execution -----------------------------------------------------
     def _lookup(self, cell: _Cell) -> Optional[dict]:
@@ -504,26 +569,27 @@ class CampaignRunner:
         return results
 
     # -- warm-start ----------------------------------------------------
-    def _resolve_warm(self, misses):
-        """Pick where this campaign keeps warm checkpoints.
+    def _warm_for(self, misses):
+        """Pick where one wave's misses keep warm checkpoints.
 
-        Returns ``(spec, spool)``: a :class:`WarmSpec` (or ``None`` when
-        warm-start is off or nothing will execute) and a temporary spool
-        directory to clean up, when one had to be created.  Disk-backed
-        stores persist checkpoints next to their cells (surviving
-        restarts like the cells do); in-memory parallel campaigns spool
-        through a run-scoped temp dir, since a per-process memory cache
-        is invisible to pool workers; serial in-memory campaigns just
-        use the process-local cache.
+        Disk-backed stores persist checkpoints next to their cells
+        (surviving restarts like the cells do); in-memory parallel
+        campaigns spool through a run-scoped temp dir — created lazily
+        on the first wave that needs one and shared by later waves —
+        since a per-process memory cache is invisible to pool workers;
+        serial in-memory campaigns just use the process-local cache.
         """
         if not self.warm_start or not misses:
-            return None, None
+            return None
         if isinstance(self.store, DiskStore):
-            return WarmSpec(dir=str(self.store.cache_dir / "warmstart")), None
+            return WarmSpec(dir=str(self.store.cache_dir / "warmstart"))
         if self.jobs > 1 and len(misses) > 1:
-            spool = tempfile.TemporaryDirectory(prefix="repro-warmstart-")
-            return WarmSpec(dir=spool.name), spool
-        return WarmSpec(dir=None), None
+            if self._spool is None:
+                self._spool = tempfile.TemporaryDirectory(
+                    prefix="repro-warmstart-"
+                )
+            return WarmSpec(dir=self._spool.name)
+        return WarmSpec(dir=None)
 
     def _warm_wave(self, misses, spec: WarmSpec) -> None:
         """Checkpoint every warm group exactly once, before the cells.
@@ -602,6 +668,132 @@ class CampaignRunner:
         except (ImportError, NotImplementedError, OSError, ValueError):
             return None
 
+    # -- adaptive scheduling -------------------------------------------
+    def _cell_args(self, cell: _Cell) -> tuple:
+        """Worker arguments for one cell (warm spec appended later)."""
+        if cell.fault is None:
+            return (
+                cell.version,
+                self.settings,
+                cell.seed,
+                self._trace_arg(cell),
+            )
+        return (
+            cell.version,
+            cell.fault,
+            self.settings,
+            cell.seed,
+            self._trace_arg(cell),
+        )
+
+    @staticmethod
+    def _stream_sample(cell: _Cell, payload: dict) -> float:
+        """The scalar a stream's stopping rule judges.
+
+        Baseline streams are judged on Tn, fault streams on the run's
+        availability — the quantities whose stability bounds the AT/AA/P
+        estimates downstream.  (Pre-v3 payloads without a timeline can
+        only appear under the fixed policy, where samples never change
+        the schedule.)
+        """
+        if cell.fault is None:
+            return float(payload["tn"])
+        return float((payload.get("timeline") or {}).get("availability", 0.0))
+
+    def _run_wave(
+        self,
+        wave: List[_Cell],
+        report: CampaignReport,
+        payloads: Dict[_Cell, dict],
+        samples: Dict[Tuple[str, Optional[str]], List[float]],
+    ) -> None:
+        """Execute one wave of cells: store lookups, then warm-start and
+        (possibly pooled) simulation of the misses."""
+        self.metrics.counter("campaign.reps.scheduled").inc(len(wave))
+        misses: List[Tuple[_Cell, tuple]] = []
+        for cell in wave:
+            hit = self._lookup(cell)
+            if hit is not None:
+                payloads[cell] = hit
+                self._record(report, cell, hit, cached=True)
+            else:
+                misses.append((cell, self._cell_args(cell)))
+        if misses:
+            warm_spec = self._warm_for(misses)
+            if warm_spec is not None:
+                self._warm_wave(misses, warm_spec)
+            executed = self._execute_wave(
+                [(cell, args + (warm_spec,)) for cell, args in misses],
+                report,
+            )
+            payloads.update(executed)
+        for cell in wave:
+            samples[cell.stream].append(
+                self._stream_sample(cell, payloads[cell])
+            )
+
+    def _finalize_stream(
+        self,
+        stream: Tuple[str, Optional[str]],
+        decision: Decision,
+        reason: str,
+        rule,
+        report: CampaignReport,
+    ) -> None:
+        version, fault = stream
+        record = StreamRecord(
+            version=version,
+            fault=fault,
+            metric="tn" if fault is None else "availability",
+            reps=decision.n,
+            reason=reason,
+            mean=decision.mean,
+            std=decision.std,
+            rse=decision.rse,
+            ci_half_width=decision.half_width,
+            confidence=rule.confidence,
+        )
+        report.repetition.append(record)
+        skipped = rule.max_reps - decision.n
+        if skipped > 0:
+            self.metrics.counter("campaign.reps.skipped").inc(skipped)
+        if self.use_cache:
+            self.store.put_summary(
+                SummaryKey(
+                    version=version,
+                    settings_key=self._settings_key,
+                    fault=fault,
+                    policy_key=self.settings.repetition_policy().key(),
+                ),
+                record.to_payload(),
+            )
+
+    def _replicates(
+        self,
+        versions: List[str],
+        faults: Tuple[FaultKind, ...],
+        payloads: Dict[_Cell, dict],
+    ) -> Dict[str, List[ProfileSet]]:
+        """Per-version single-replication ProfileSets over the reps every
+        stream of the version completed — the AT/AA/P band samples."""
+        by_cell = {(c.version, c.fault, c.rep): p for c, p in payloads.items()}
+        out: Dict[str, List[ProfileSet]] = {}
+        for version in versions:
+            sets: List[ProfileSet] = []
+            for rep in range(self.settings.repetition_policy().max_reps):
+                base = by_cell.get((version, None, rep))
+                rest = [
+                    by_cell.get((version, f.value, rep)) for f in faults
+                ]
+                if base is None or any(p is None for p in rest):
+                    continue
+                ps = ProfileSet(version, float(base["tn"]))
+                for payload in rest:
+                    ps.add(SevenStageProfile.from_dict(payload["profile"]))
+                sets.append(ps)
+            out[version] = sets
+        return out
+
     # -- public API ----------------------------------------------------
     def run(
         self,
@@ -610,84 +802,141 @@ class CampaignRunner:
     ) -> Tuple[Dict[str, ProfileSet], CampaignReport]:
         versions = list(versions)
         faults = tuple(faults)
-        report = CampaignReport(jobs=self.jobs)
+        policy = self.settings.repetition_policy()
+        rule = make_rule(policy)
+        budget = RepBudget(policy.rep_budget)
+        report = CampaignReport(
+            jobs=self.jobs,
+            policy=policy.rule,
+            reps_ceiling_per_stream=rule.max_reps,
+        )
         started = time.perf_counter()
 
-        baselines, cells = self._grid(versions, faults)
-
-        # Every cell is independent (fault cells measure their own
-        # pre-injection Tn), so the whole grid is one parallel wave.
-        payloads: Dict[_Cell, dict] = {}
-        misses: List[Tuple[_Cell, tuple]] = []
-        for cell in baselines + cells:
-            hit = self._lookup(cell)
-            if hit is not None:
-                payloads[cell] = hit
-                self._record(report, cell, hit, cached=True)
-            elif cell.fault is None:
-                misses.append(
-                    (
-                        cell,
-                        (
-                            cell.version,
-                            self.settings,
-                            cell.seed,
-                            self._trace_arg(cell),
-                        ),
-                    )
-                )
-            else:
-                misses.append(
-                    (
-                        cell,
-                        (
-                            cell.version,
-                            cell.fault,
-                            self.settings,
-                            cell.seed,
-                            self._trace_arg(cell),
-                        ),
-                    )
-                )
-        warm_spec, spool = self._resolve_warm(misses)
-        try:
-            if warm_spec is not None:
-                self._warm_wave(misses, warm_spec)
-            misses = [
-                (cell, args + (warm_spec,)) for cell, args in misses
-            ]
-            payloads.update(self._execute_wave(misses, report))
-        finally:
-            if spool is not None:
-                spool.cleanup()
-        tn_by_cell = {
-            (c.version, c.rep): p["tn"]
-            for c, p in payloads.items()
-            if c.fault is None
+        # Streams: the baseline and every fault of each version
+        # replicate independently under one rule.  Every cell is
+        # independent (fault cells measure their own pre-injection Tn),
+        # so each wave fans out in parallel.
+        streams: List[Tuple[str, Optional[str]]] = [
+            (v, f)
+            for v in versions
+            for f in [None] + [k.value for k in faults]
+        ]
+        labels = {s: f"{s[0]}/{s[1] or 'baseline'}" for s in streams}
+        by_label = {label: s for s, label in labels.items()}
+        samples: Dict[Tuple[str, Optional[str]], List[float]] = {
+            s: [] for s in streams
         }
-        profile_payloads = {c: p for c, p in payloads.items() if c.fault is not None}
+        payloads: Dict[_Cell, dict] = {}
+        active = list(streams)
+        try:
+            # Wave 0: the policy's minimum for every stream — in fixed
+            # mode that is the whole grid, exactly the historical
+            # single-wave campaign.
+            self._run_wave(
+                [
+                    _Cell(v, f, rep, self._seed_for(v, rep))
+                    for (v, f) in streams
+                    for rep in range(rule.min_reps)
+                ],
+                report,
+                payloads,
+                samples,
+            )
+            rep = rule.min_reps
+            while active:
+                requests: List[Tuple[str, Decision]] = []
+                decided: Dict[str, Decision] = {}
+                for stream in active:
+                    decision = rule.decide(samples[stream])
+                    if decision.stop:
+                        self._finalize_stream(
+                            stream, decision, decision.reason, rule, report
+                        )
+                    else:
+                        requests.append((labels[stream], decision))
+                        decided[labels[stream]] = decision
+                granted, denied = budget.allocate(requests)
+                for label in denied:
+                    self.metrics.counter(
+                        "campaign.reps.budget_exhausted"
+                    ).inc()
+                    self._finalize_stream(
+                        by_label[label],
+                        decided[label],
+                        REASON_BUDGET,
+                        rule,
+                        report,
+                    )
+                active = [by_label[label] for label in granted]
+                if not active:
+                    break
+                self._run_wave(
+                    [
+                        _Cell(v, f, rep, self._seed_for(v, rep))
+                        for (v, f) in active
+                    ],
+                    report,
+                    payloads,
+                    samples,
+                )
+                rep += 1
+        finally:
+            if self._spool is not None:
+                self._spool.cleanup()
+                self._spool = None
+        report.repetition.sort(key=lambda r: (r.version, r.fault or ""))
 
-        # Merge: identical arithmetic to the historical serial path.
+        # Merge: identical arithmetic to the historical fixed-rep path —
+        # Tn averaged over the baseline reps that ran, per-fault
+        # profiles averaged in replication order.
         out: Dict[str, ProfileSet] = {}
-        reps = range(max(1, self.settings.replications))
         for version in versions:
-            tns = [tn_by_cell[(version, r)] for r in reps]
+            tns = [
+                payloads[c]["tn"]
+                for c in sorted(
+                    (c for c in payloads if c.version == version and c.fault is None),
+                    key=lambda c: c.rep,
+                )
+            ]
             profiles = ProfileSet(version, sum(tns) / len(tns))
-            per_fault: Dict[str, List[SevenStageProfile]] = {}
-            for cell in cells:
-                if cell.version != version:
-                    continue
-                per_fault.setdefault(cell.fault, []).append(
-                    SevenStageProfile.from_dict(
-                        profile_payloads[cell]["profile"]
+            for kind in faults:
+                reps_of_fault = sorted(
+                    (
+                        c
+                        for c in payloads
+                        if c.version == version and c.fault == kind.value
+                    ),
+                    key=lambda c: c.rep,
+                )
+                profiles.add(
+                    average_profiles(
+                        [
+                            SevenStageProfile.from_dict(
+                                payloads[c]["profile"]
+                            )
+                            for c in reps_of_fault
+                        ]
                     )
                 )
-            for kind in faults:
-                profiles.add(average_profiles(per_fault[kind.value]))
             out[version] = profiles
+        report.replicates = self._replicates(versions, faults, payloads)
 
         report.notices.extend(self.store.drain_notices())
         self._finish_warm_report(report)
+        if policy.adaptive:
+            saved = report.reps_saved_fraction * 100.0
+            notice = (
+                f"adaptive replication ({policy.rule}): "
+                f"{report.reps_spent} rep(s) across "
+                f"{len(report.repetition)} stream(s) vs "
+                f"{report.reps_ceiling} at fixed-{rule.max_reps} "
+                f"({saved:.0f}% saved)"
+            )
+            if budget.denied:
+                notice += (
+                    f"; rep budget exhausted on {budget.denied} stream(s)"
+                )
+            report.notices.append(notice)
         errors = 0
         error_cells = 0
         for rec in report.cells:

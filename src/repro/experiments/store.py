@@ -4,7 +4,7 @@ Each campaign *cell* — one simulated run, either a fault-free baseline
 or a single-fault experiment — is cached under a key built from
 everything that determines its outcome:
 
-    (version, settings.cache_key(), fault, cell seed, schema version)
+    (version, settings.sim_key(), fault, cell seed, schema version)
 
 The schema version is bumped whenever the simulation or the extraction
 code changes in a result-affecting way, which invalidates every cached
@@ -26,7 +26,7 @@ import hashlib
 import json
 import os
 import tempfile
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
@@ -45,10 +45,21 @@ from typing import Dict, Optional, Tuple, Union
 #:        each group's pre-injection prefix once; payloads carry a
 #:        volatile "warm_start" provenance key (see
 #:        VOLATILE_PAYLOAD_KEYS).
-SCHEMA_VERSION = 4
+#:   v5 — adaptive replication: the settings key is now
+#:        ``Phase1Settings.sim_key()`` (grid-layout knobs like the
+#:        replication count no longer shard the cache universe, so
+#:        fixed and adaptive campaigns share cells), the on-disk key
+#:        record carries the replication index ("rep"), and the store
+#:        gains a repetition-summary namespace (per-stream rep counts,
+#:        stopping reasons, and CI half widths under ``repetition/``).
+SCHEMA_VERSION = 5
 
 #: Environment variable consulted by the CLI for a default cache dir.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Subdirectory of a DiskStore holding per-stream repetition summaries
+#: (schema v5) — beside the two-hex-char cell shards, like `warmstart/`.
+SUMMARY_DIR = "repetition"
 
 #: Payload keys that legitimately differ between two executions of the
 #: *same* cell: host wall-clock and warm-start checkpoint provenance.
@@ -76,13 +87,21 @@ def payload_fingerprint(payload: dict) -> str:
 
 @dataclass(frozen=True)
 class CellKey:
-    """Identity of one campaign cell's result."""
+    """Identity of one campaign cell's result.
+
+    ``rep`` (the replication index) is provenance, not identity: the
+    seed already encodes it, so it is written into the on-disk key
+    record — the dashboard groups per-replication CI bands by it — but
+    kept out of the digest, and two keys differing only in ``rep``
+    address the same cell.
+    """
 
     version: str
     settings_key: tuple
     fault: Optional[str]  # None for the fault-free baseline run
     seed: int
     schema: int = SCHEMA_VERSION
+    rep: Optional[int] = field(default=None, compare=False)
 
     def digest(self) -> str:
         """Stable hex digest used as the on-disk filename."""
@@ -92,6 +111,37 @@ class CellKey:
                 self.settings_key,
                 self.fault,
                 self.seed,
+                self.schema,
+            )
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class SummaryKey:
+    """Identity of one stream's repetition summary.
+
+    A *stream* is the replication series of one (version, fault) pair
+    under one repetition policy.  Unlike cells, summaries are
+    policy-dependent — how many reps ran and why the stream stopped is
+    exactly what the policy decides — so the policy key is part of the
+    identity and differently-policied campaigns over one store keep
+    separate summaries.
+    """
+
+    version: str
+    settings_key: tuple
+    fault: Optional[str]  # None = the baseline stream
+    policy_key: tuple
+    schema: int = SCHEMA_VERSION
+
+    def digest(self) -> str:
+        canonical = repr(
+            (
+                self.version,
+                self.settings_key,
+                self.fault,
+                self.policy_key,
                 self.schema,
             )
         )
@@ -119,12 +169,20 @@ class ResultStore:
         """
         return []
 
+    # -- repetition summaries (schema v5) -----------------------------
+    def get_summary(self, key: SummaryKey) -> Optional[dict]:
+        return None
+
+    def put_summary(self, key: SummaryKey, payload: dict) -> None:
+        pass
+
 
 class MemoryStore(ResultStore):
     """Process-local store; survives nothing, costs nothing."""
 
     def __init__(self) -> None:
         self._cells: Dict[CellKey, dict] = {}
+        self._summaries: Dict[SummaryKey, dict] = {}
 
     def get(self, key: CellKey) -> Optional[dict]:
         return self._cells.get(key)
@@ -132,8 +190,15 @@ class MemoryStore(ResultStore):
     def put(self, key: CellKey, payload: dict) -> None:
         self._cells[key] = payload
 
+    def get_summary(self, key: SummaryKey) -> Optional[dict]:
+        return self._summaries.get(key)
+
+    def put_summary(self, key: SummaryKey, payload: dict) -> None:
+        self._summaries[key] = payload
+
     def clear(self) -> None:
         self._cells.clear()
+        self._summaries.clear()
 
     def __len__(self) -> int:
         return len(self._cells)
@@ -180,18 +245,67 @@ class DiskStore(ResultStore):
         return data["payload"]
 
     def put(self, key: CellKey, payload: dict) -> None:
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         record = {
             "key": {
                 "version": key.version,
                 "fault": key.fault,
                 "seed": key.seed,
                 "schema": key.schema,
+                "rep": key.rep,
             },
             "payload": payload,
         }
-        # Atomic publish: never leave a half-written cell visible.
+        self._write_record(self._path(key), record)
+
+    # -- repetition summaries (schema v5) -----------------------------
+    def _summary_path(self, key: SummaryKey) -> Path:
+        return self.cache_dir / SUMMARY_DIR / f"{key.digest()}.json"
+
+    def get_summary(self, key: SummaryKey) -> Optional[dict]:
+        try:
+            with open(self._summary_path(key), "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(data, dict) or "payload" not in data:
+            return None
+        return data["payload"]
+
+    def put_summary(self, key: SummaryKey, payload: dict) -> None:
+        record = {
+            "summary_key": {
+                "version": key.version,
+                "fault": key.fault,
+                "policy": list(key.policy_key),
+                "schema": key.schema,
+            },
+            "payload": payload,
+        }
+        self._write_record(self._summary_path(key), record)
+
+    def iter_summaries(self):
+        """Yield ``(key_info, payload)`` per readable repetition summary."""
+        root = self.cache_dir / SUMMARY_DIR
+        if not root.is_dir():
+            return
+        for path in sorted(root.glob("*.json")):
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    data = json.load(fh)
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                continue
+            if (
+                not isinstance(data, dict)
+                or "payload" not in data
+                or "summary_key" not in data
+            ):
+                continue
+            yield data["summary_key"], data["payload"]
+
+    @staticmethod
+    def _write_record(path: Path, record: dict) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Atomic publish: never leave a half-written record visible.
         fd, tmp = tempfile.mkstemp(
             dir=path.parent, prefix=path.stem, suffix=".tmp"
         )
@@ -238,7 +352,7 @@ class DiskStore(ResultStore):
         not a cache lookup, so it must tolerate a dirty directory.
         """
         for shard in sorted(self.cache_dir.iterdir()):
-            if not shard.is_dir():
+            if not self._is_shard(shard):
                 continue
             for cell in sorted(shard.glob("*.json")):
                 try:
@@ -254,10 +368,17 @@ class DiskStore(ResultStore):
                     continue
                 yield data["key"], data["payload"]
 
+    @staticmethod
+    def _is_shard(path: Path) -> bool:
+        """Cell shards are the two-hex-char directories; siblings like
+        ``warmstart/`` and ``repetition/`` are other namespaces."""
+        return path.is_dir() and len(path.name) == 2
+
     def clear(self) -> None:
-        """Remove every cached cell (the directory itself is kept)."""
+        """Remove every cached cell and repetition summary (the
+        directory itself is kept)."""
         for shard in self.cache_dir.iterdir():
-            if not shard.is_dir():
+            if not self._is_shard(shard) and shard.name != SUMMARY_DIR:
                 continue
             for cell in shard.glob("*.json"):
                 try:
@@ -269,7 +390,7 @@ class DiskStore(ResultStore):
         return sum(
             1
             for shard in self.cache_dir.iterdir()
-            if shard.is_dir()
+            if self._is_shard(shard)
             for _ in shard.glob("*.json")
         )
 

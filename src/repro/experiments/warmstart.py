@@ -17,7 +17,7 @@ directory — placed next to the campaign's
 :class:`~repro.experiments.store.DiskStore` cells when there is a cache
 dir, or in a run-scoped spool directory (parallel runs), or in a
 per-process memory dict (serial in-memory runs).  The digest is a
-content address over ``(version, settings.cache_key(), keep_events)``;
+content address over ``(version, settings.sim_key(), keep_events)``;
 anything that could change the warm trajectory changes the file name.
 
 Each file opens with a one-line ASCII header naming the snapshot format
@@ -86,7 +86,7 @@ def warm_digest(version: str, settings: Phase1Settings, keep_events: bool) -> st
     attached recorder keeps its event backlog (a traced warm segment
     carries more state than an untraced one).
     """
-    canonical = repr((version, settings.cache_key(), bool(keep_events)))
+    canonical = repr((version, settings.sim_key(), bool(keep_events)))
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 

@@ -90,11 +90,20 @@ def test_every_component_matters():
 def test_campaign_grid_shares_one_seed_per_group():
     """Baseline and every fault cell of a (version, rep) group run under
     one seed — the precondition for warm-start checkpoint sharing."""
+    from repro.experiments.runner import _Cell
+
     settings = Phase1Settings(scale=SMOKE_SCALE, seed=7, replications=3)
     runner = CampaignRunner(settings)
-    baselines, cells = runner._grid(["TCP-PRESS", "VIA-PRESS-5"], tuple(CAMPAIGN_FAULTS))
+    # The wave-0 grid exactly as CampaignRunner.run builds it: every
+    # stream (baseline + each fault) at every replication index.
+    grid = [
+        _Cell(v, f, rep, runner._seed_for(v, rep))
+        for v in ["TCP-PRESS", "VIA-PRESS-5"]
+        for f in [None] + [k.value for k in CAMPAIGN_FAULTS]
+        for rep in range(settings.replications)
+    ]
     by_group = {}
-    for cell in baselines + cells:
+    for cell in grid:
         by_group.setdefault((cell.version, cell.rep), set()).add(cell.seed)
     assert len(by_group) == 2 * 3
     assert all(len(seeds) == 1 for seeds in by_group.values())
@@ -102,8 +111,7 @@ def test_campaign_grid_shares_one_seed_per_group():
     flat = [next(iter(s)) for s in by_group.values()]
     assert len(set(flat)) == len(flat)
     # The grid seed matches the public derivation at the settings layout.
-    (cell,) = [c for c in baselines if c.version == "TCP-PRESS" and c.rep == 0]
-    assert cell.seed == cell_seed(
+    assert runner._seed_for("TCP-PRESS", 0) == cell_seed(
         7, "TCP-PRESS", 0, warm=settings.warm, fault_at=settings.fault_at
     )
 

@@ -8,9 +8,11 @@ import pytest
 from repro.experiments.settings import DEFAULT_SETTINGS
 from repro.experiments.store import (
     SCHEMA_VERSION,
+    SUMMARY_DIR,
     CellKey,
     DiskStore,
     MemoryStore,
+    SummaryKey,
     open_store,
 )
 
@@ -149,6 +151,165 @@ class TestOpenStore:
     def test_path_gives_disk(self, tmp_path):
         store = open_store(tmp_path / "cache")
         assert isinstance(store, DiskStore)
+
+
+class TestSchemaV5Golden:
+    """Golden fixtures for the schema-v5 on-disk layout.
+
+    Pins the record shape and key digests so that any accidental change
+    to the cache identity or file format fails loudly here — the correct
+    response to an intentional change is a SCHEMA_VERSION bump, which
+    invalidates old stores instead of mis-reading them.
+    """
+
+    #: Fixed keys with a synthetic settings tuple: the digest depends
+    #: only on the key fields, never on the live DEFAULT_SETTINGS.
+    GOLDEN_CELL = CellKey(
+        version="TCP-PRESS",
+        settings_key=("golden", 1),
+        fault="node-crash",
+        seed=42,
+        schema=5,
+        rep=1,
+    )
+    GOLDEN_SUMMARY = SummaryKey(
+        version="TCP-PRESS",
+        settings_key=("golden", 1),
+        fault="node-crash",
+        policy_key=("ci", 3, 10, 0.05, 0.95, None),
+        schema=5,
+    )
+
+    def test_cell_digest_is_pinned(self):
+        assert self.GOLDEN_CELL.digest() == (
+            "a997618af9b6d038ea7bf2454f2a3927"
+            "da52a1ee9a332a4e89e6d0bceb0c2b18"
+        )
+
+    def test_summary_digest_is_pinned(self):
+        assert self.GOLDEN_SUMMARY.digest() == (
+            "06f39c856d876ba3cda16343d73f6661"
+            "0b9c71a68b9c03e92fd1ef575760fe33"
+        )
+
+    def test_rep_is_provenance_not_identity(self, tmp_path):
+        """Two keys differing only in ``rep`` address the same cell."""
+        other = dataclasses.replace(self.GOLDEN_CELL, rep=7)
+        assert other == self.GOLDEN_CELL
+        assert other.digest() == self.GOLDEN_CELL.digest()
+        store = DiskStore(tmp_path)
+        assert store._path(other) == store._path(self.GOLDEN_CELL)
+
+    def test_cell_record_layout_round_trips(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put(self.GOLDEN_CELL, {"kind": "baseline", "tn": 2.0})
+        raw = json.loads(store._path(self.GOLDEN_CELL).read_text())
+        assert raw == {
+            "key": {
+                "version": "TCP-PRESS",
+                "fault": "node-crash",
+                "seed": 42,
+                "schema": 5,
+                "rep": 1,
+            },
+            "payload": {"kind": "baseline", "tn": 2.0},
+        }
+        # A fresh handle reads it back, and the reporting walk surfaces
+        # the replication index.
+        reopened = DiskStore(tmp_path)
+        assert reopened.get(self.GOLDEN_CELL) == {
+            "kind": "baseline",
+            "tn": 2.0,
+        }
+        ((key_info, _),) = list(reopened.iter_cells())
+        assert key_info["rep"] == 1
+
+    def test_summary_record_layout_round_trips(self, tmp_path):
+        store = DiskStore(tmp_path)
+        payload = {"reps": 4, "reason": "converged", "ci_half_width": 0.01}
+        store.put_summary(self.GOLDEN_SUMMARY, payload)
+        path = store._summary_path(self.GOLDEN_SUMMARY)
+        assert path.parent.name == SUMMARY_DIR
+        raw = json.loads(path.read_text())
+        assert raw == {
+            "summary_key": {
+                "version": "TCP-PRESS",
+                "fault": "node-crash",
+                "policy": ["ci", 3, 10, 0.05, 0.95, None],
+                "schema": 5,
+            },
+            "payload": payload,
+        }
+        reopened = DiskStore(tmp_path)
+        assert reopened.get_summary(self.GOLDEN_SUMMARY) == payload
+        ((summary_key, got),) = list(reopened.iter_summaries())
+        assert summary_key["policy"] == ["ci", 3, 10, 0.05, 0.95, None]
+        assert got == payload
+
+    def test_hand_written_record_is_readable(self, tmp_path):
+        """The documented layout, written by hand, is a valid record —
+        the reader is pinned to the format, not to the writer."""
+        store = DiskStore(tmp_path)
+        path = store._path(self.GOLDEN_CELL)
+        path.parent.mkdir(parents=True)
+        path.write_text(
+            json.dumps(
+                {
+                    "key": {
+                        "version": "TCP-PRESS",
+                        "fault": "node-crash",
+                        "seed": 42,
+                        "schema": 5,
+                        "rep": 1,
+                    },
+                    "payload": {"kind": "baseline", "tn": 3.5},
+                }
+            )
+        )
+        assert store.get(self.GOLDEN_CELL) == {"kind": "baseline", "tn": 3.5}
+
+    def test_memory_store_summaries_round_trip(self):
+        store = MemoryStore()
+        assert store.get_summary(self.GOLDEN_SUMMARY) is None
+        store.put_summary(self.GOLDEN_SUMMARY, {"reps": 3})
+        assert store.get_summary(self.GOLDEN_SUMMARY) == {"reps": 3}
+        store.clear()
+        assert store.get_summary(self.GOLDEN_SUMMARY) is None
+
+    def test_summaries_are_policy_dependent(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put_summary(self.GOLDEN_SUMMARY, {"reps": 4})
+        other_policy = dataclasses.replace(
+            self.GOLDEN_SUMMARY, policy_key=("fixed", 3, 3)
+        )
+        assert store.get_summary(other_policy) is None
+
+    def test_corrupt_summary_is_a_miss_and_skipped(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put_summary(self.GOLDEN_SUMMARY, {"reps": 4})
+        store._summary_path(self.GOLDEN_SUMMARY).write_text("{ nope")
+        assert store.get_summary(self.GOLDEN_SUMMARY) is None
+        assert list(store.iter_summaries()) == []
+
+    def test_clear_removes_summaries_too(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put(self.GOLDEN_CELL, {"kind": "baseline", "tn": 1.0})
+        store.put_summary(self.GOLDEN_SUMMARY, {"reps": 4})
+        store.clear()
+        assert store.get(self.GOLDEN_CELL) is None
+        assert store.get_summary(self.GOLDEN_SUMMARY) is None
+
+    def test_v4_store_is_invalidated_not_reread(self, tmp_path):
+        """A store written under schema v4 misses at v5 and reports the
+        invalidation — its payloads are never re-read as current."""
+        store = DiskStore(tmp_path)
+        v4 = dataclasses.replace(self.GOLDEN_CELL, schema=4)
+        store.put(v4, {"kind": "baseline", "tn": 9.9})
+        assert store.get(self.GOLDEN_CELL) is None
+        assert store.drain_notices() == [
+            f"cache invalidated (schema v4→v{SCHEMA_VERSION}): "
+            "1 cell(s) re-run"
+        ]
 
 
 class TestSchemaNotices:

@@ -111,7 +111,7 @@ def test_schema_notice_reaches_the_report(tmp_path):
     # for.
     key = CellKey(
         version="TCP-PRESS",
-        settings_key=FAST.cache_key(),
+        settings_key=FAST.sim_key(),
         fault=None,
         seed=cell_seed(
             FAST.seed, "TCP-PRESS", 0, warm=FAST.warm, fault_at=FAST.fault_at

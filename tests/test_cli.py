@@ -186,3 +186,106 @@ def test_trace_validate_exits_nonzero_on_empty_dir(tmp_path):
         main(["trace-validate", str(tmp_path)])
     assert exc.value.code != 0
     assert "no trace files" in str(exc.value.code)
+
+
+# ----------------------------------------------------------------------
+# adaptive replication flags
+# ----------------------------------------------------------------------
+
+
+def test_parser_accepts_replication_flags():
+    args = build_parser().parse_args(
+        ["--reps-policy", "ci", "--reps-max", "8", "--rep-budget", "20",
+         "campaign"]
+    )
+    assert args.reps_policy == "ci"
+    assert args.reps_max == 8
+    assert args.rep_budget == 20
+
+
+def test_rep_budget_requires_an_adaptive_policy():
+    with pytest.raises(SystemExit) as exc:
+        main(["--rep-budget", "5", "table1"])
+    assert "--rep-budget needs an adaptive --reps-policy" in str(
+        exc.value.code
+    )
+
+
+def test_zero_replications_is_a_clean_cli_error():
+    with pytest.raises(SystemExit) as exc:
+        main(["--replications", "0", "table1"])
+    assert "replications must be a positive" in str(exc.value.code)
+
+
+def test_campaign_command_prints_the_replication_table(
+    capsys, restore_campaign_defaults
+):
+    # Budget 0 pins every stream to its min of 2 reps: streams whose
+    # rule asks for a third are denied, which drives the budget path
+    # end to end at near-fixed cost.
+    out = run_cli(
+        capsys, "--scale", "200", "--seed", "3", "--replications", "2",
+        "--reps-policy", "ci", "--reps-max", "3", "--rep-budget", "0",
+        "campaign", "--versions", "TCP-PRESS",
+    )
+    assert "replication (ci policy):" in out
+    assert "budget-exhausted" in out
+    assert "reps spent:" in out and "% saved" in out
+    assert "rep budget exhausted on" in out
+
+
+# ----------------------------------------------------------------------
+# store-diff subcommand
+# ----------------------------------------------------------------------
+
+
+def _put_cell(cache_dir, schema, tn=1.0):
+    from repro.experiments.store import CellKey, DiskStore
+
+    DiskStore(cache_dir).put(
+        CellKey(
+            version="TCP-PRESS",
+            settings_key=("cli", 1),
+            fault=None,
+            seed=7,
+            schema=schema,
+        ),
+        {"kind": "baseline", "tn": tn, "elapsed": 0.1},
+    )
+
+
+def test_store_diff_identical_stores_pass(capsys, tmp_path):
+    from repro.experiments.store import SCHEMA_VERSION
+
+    a, b = tmp_path / "a", tmp_path / "b"
+    _put_cell(a, SCHEMA_VERSION)
+    _put_cell(b, SCHEMA_VERSION)
+    out = run_cli(capsys, "store-diff", str(a), str(b))
+    assert "1 cell(s) compared, payloads identical" in out
+
+
+def test_store_diff_exits_nonzero_on_payload_mismatch(tmp_path):
+    from repro.experiments.store import SCHEMA_VERSION
+
+    a, b = tmp_path / "a", tmp_path / "b"
+    _put_cell(a, SCHEMA_VERSION, tn=1.0)
+    _put_cell(b, SCHEMA_VERSION, tn=2.0)
+    with pytest.raises(SystemExit) as exc:
+        main(["store-diff", str(a), str(b)])
+    assert "1 difference(s)" in str(exc.value.code)
+
+
+def test_store_diff_reports_a_v4_store_as_invalidated(capsys, tmp_path):
+    """Pre-v5 cells are called out as invalidated by the current
+    schema — the campaign re-runs them, it never re-reads them."""
+    from repro.experiments.store import SCHEMA_VERSION
+
+    a, b = tmp_path / "a", tmp_path / "b"
+    _put_cell(a, schema=4)
+    _put_cell(b, schema=4)
+    out = run_cli(capsys, "store-diff", str(a), str(b))
+    assert (
+        f"1 cell(s) under stale schema v4 — invalidated by current "
+        f"schema v{SCHEMA_VERSION}" in out
+    )
+    assert "re-run these cells rather than re-reading them" in out
