@@ -62,6 +62,47 @@ def test_engine_event_stream(benchmark):
     assert benchmark(run_stream) == 10_000
 
 
+def test_engine_event_stream_span_guard(benchmark):
+    """The deliver/cancel/re-arm stream with the span guard per delivery.
+
+    Request-scoped tracing put a ``spans = engine.spans; if spans is not
+    None`` probe at every hot event site (fabric hop, TCP segment, VIA
+    descriptor, HTTP serve).  With collection off — every campaign run
+    unless ``--spans`` is passed — that probe is the *whole* cost of the
+    instrumentation, so this bench runs the exact workload of
+    ``test_engine_event_stream`` with the probe added to each delivery.
+    The paired bench-gate claim (``span_guard_zero_overhead``) holds the
+    difference within 2%.
+    """
+
+    def run_stream():
+        e = Engine()
+        count = [0]
+        pending = [None]
+
+        def on_rto():
+            pending[0] = None
+
+        def deliver():
+            spans = e.spans
+            if spans is not None:  # collection is off in this bench
+                spans.start(count[0], "net.frame", e.now)
+            count[0] += 1
+            timer = pending[0]
+            if timer is not None:
+                timer.cancel()
+                pending[0] = None
+            if count[0] < 10_000:
+                pending[0] = e.call_after(0.2, on_rto)
+                e.call_after(65e-6, deliver)
+
+        e.call_after(65e-6, deliver)
+        e.run()
+        return count[0]
+
+    assert benchmark(run_stream) == 10_000
+
+
 def test_engine_event_throughput(benchmark):
     """Schedule+dispatch cost of a bare chained engine event."""
 

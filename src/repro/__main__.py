@@ -123,15 +123,20 @@ def cmd_timeline(args) -> None:
         from .obs.bus import EventRecorder
 
         recorder = EventRecorder(keep_events=True)
+    spans = None
+    if args.spans_dir:
+        from .obs.spans import SpanCollector
+
+        spans = SpanCollector(sample_every=args.span_sample)
     record, cluster = run_single_fault(
         ALL_VERSIONS_EXTENDED[args.version], kind, _settings(args),
-        recorder=recorder,
+        recorder=recorder, spans=spans,
     )
     print(timeline_report(record))
+    label = f"{args.version}__{kind.value}__seed{args.seed}"
     if recorder is not None:
         from .obs.exporters import export_run, telemetry_summary
 
-        label = f"{args.version}__{kind.value}__seed{args.seed}"
         paths = export_run(
             recorder.events,
             args.trace_dir,
@@ -143,12 +148,29 @@ def cmd_timeline(args) -> None:
         summary = telemetry_summary(recorder, cluster.metrics)
         print(f"trace: {summary['event_total']} events ->",
               " ".join(str(p) for p in paths))
+    if spans is not None:
+        from .obs.exporters import export_spans
+
+        spans.finish(cluster.engine.now)
+        span_paths = export_spans(
+            spans,
+            args.spans_dir,
+            label,
+            args.trace_format,
+            meta={"version": args.version, "fault": kind.value,
+                  "seed": args.seed},
+        )
+        print(f"spans: {len(spans.spans)} spans in {spans.n_traces} "
+              "traces ->",
+              " ".join(str(p) for p in span_paths))
 
 
 def cmd_campaign(args) -> None:
     from .analysis.report import (
+        attribution_report,
         campaign_report,
         campaign_timing_report,
+        latency_band_report,
         repetition_report,
         trace_summary_report,
     )
@@ -158,6 +180,12 @@ def cmd_campaign(args) -> None:
         _settings(args), versions=args.versions or None
     )
     print(campaign_report(campaign, replicates=timing.replicates))
+    latency = latency_band_report(timing)
+    if latency:
+        print(latency)
+    attribution = attribution_report(timing)
+    if attribution:
+        print(attribution)
     print(campaign_timing_report(timing))
     reps = repetition_report(timing)
     if reps:
@@ -364,6 +392,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace file flavour: JSONL events, Chrome trace_event "
         "(load in Perfetto), or both (default)",
     )
+    parser.add_argument(
+        "--spans", default=None, metavar="DIR", dest="spans_dir",
+        help="emit request-scoped causal spans per run/cell into this "
+        "directory (*.spans.jsonl + Perfetto *.spans.trace.json; span "
+        "cells always execute and run cold; see OBSERVABILITY.md)",
+    )
+    parser.add_argument(
+        "--span-sample", type=int, default=1, metavar="N",
+        help="keep every Nth request trace when collecting spans "
+        "(default 1 = every request)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("table1", help="near-peak throughput of the 5 versions")
@@ -436,6 +475,8 @@ def _configure_campaign(args) -> None:
         trace_dir=args.trace_dir,
         trace_format=args.trace_format,
         warm_start=not args.no_warm_start,
+        spans_dir=args.spans_dir,
+        span_sample=args.span_sample,
     )
 
 

@@ -17,7 +17,12 @@ Sections:
 * **timelines** — per (version, fault) throughput timelines banded with
   the *online* stage classification from the observatory;
 * **divergence** — online detector vs. ground-truth fit, per cell;
-* **health** — SLO watchdog episodes and time-in-violation.
+* **health** — SLO watchdog episodes and time-in-violation;
+* **tail latency** — P² quantile bands (p50/p95/p99/p999) of served
+  requests per (version, fault), from the per-cell latency sketches;
+* **attribution** — the per-mechanism availability-cost table: which
+  mechanism (fail-fast, retransmit stall, reconfiguration window, cache
+  warmup, operator reset) each lost or SLO-slow request is charged to.
 """
 
 from __future__ import annotations
@@ -442,6 +447,108 @@ def _health_section(cells: List[_Cell]) -> List[str]:
     return out
 
 
+def _latency_section(cells: List[_Cell]) -> List[str]:
+    groups: Dict[tuple, List[dict]] = {}
+    for c in cells:
+        overall = (c.observatory.get("latency") or {}).get("overall")
+        if overall and overall.get("count"):
+            groups.setdefault((c.version, c.fault or "baseline"), []).append(
+                overall
+            )
+    if not groups:
+        return [
+            "<p class='cellnote'>no latency sketches stored (cells "
+            "predate schema v6; re-run the campaign to collect them)</p>"
+        ]
+    out = [
+        "<p>streaming P² quantile estimates of served-request latency "
+        "(sim-seconds), averaged over replications.  Lost requests "
+        "(rejects, timeouts) never enter these sketches — they are "
+        "counted in the attribution table below.</p>",
+        "<table><tr><th class='label'>version</th>"
+        "<th class='label'>fault</th><th>n</th>"
+        "<th>p50</th><th>p95</th><th>p99</th><th>p999</th></tr>",
+    ]
+    for (version, fault), overalls in sorted(groups.items()):
+        n = sum(o["count"] for o in overalls)
+        quantiles = []
+        for q in ("p50", "p95", "p99", "p999"):
+            samples = [o[q] for o in overalls if o.get(q) is not None]
+            quantiles.append(
+                _fmt(sum(samples) / len(samples), 3) if samples else "—"
+            )
+        out.append(
+            f"<tr><td class='label'>{escape(version)}</td>"
+            f"<td class='label'>{escape(fault)}</td><td>{n}</td>"
+            + "".join(f"<td>{v}</td>" for v in quantiles)
+            + "</tr>"
+        )
+    out.append("</table>")
+    return out
+
+
+def _attribution_section(cells: List[_Cell]) -> List[str]:
+    from ..obs.attribution import MECHANISMS
+
+    per_version: Dict[str, dict] = {}
+    for c in cells:
+        att = c.observatory.get("attribution")
+        if not att or not att.get("requests"):
+            continue
+        agg = per_version.setdefault(
+            c.version,
+            {
+                "requests": 0,
+                "lost": 0,
+                "slow": 0,
+                "mech": {m: {"lost": 0, "slow": 0} for m in MECHANISMS},
+            },
+        )
+        agg["requests"] += att["requests"]
+        agg["lost"] += att["total_lost"]
+        agg["slow"] += att["total_slow"]
+        for mech, row in att["mechanisms"].items():
+            dst = agg["mech"].setdefault(mech, {"lost": 0, "slow": 0})
+            dst["lost"] += row["lost"]
+            dst["slow"] += row["slow"]
+    if not per_version:
+        return [
+            "<p class='cellnote'>no attribution summaries stored (cells "
+            "predate schema v6; re-run the campaign to collect them)</p>"
+        ]
+    out = [
+        "<p>every lost request (reject or timeout) and every served "
+        "request slower than the SLO, charged to the mechanism that "
+        "plausibly caused it.  <b>cost</b> is the mechanism's slice of "
+        "unavailability (lost / all requests), summed over every cell "
+        "of the version.</p>"
+    ]
+    for version, agg in sorted(per_version.items()):
+        n = agg["requests"]
+        out.append(
+            f"<h3>{escape(version)} — {n} requests, {agg['lost']} lost "
+            f"({100.0 * agg['lost'] / n:.3f}% unavailable), "
+            f"{agg['slow']} slow</h3>"
+        )
+        out.append(
+            "<table><tr><th class='label'>mechanism</th><th>lost</th>"
+            "<th>slow</th><th>charged</th><th>cost %</th></tr>"
+        )
+        for mech in agg["mech"]:
+            row = agg["mech"][mech]
+            charged = row["lost"] + row["slow"]
+            if not charged:
+                continue
+            out.append(
+                f"<tr><td class='label'>{escape(mech)}</td>"
+                f"<td>{row['lost']}</td><td>{row['slow']}</td>"
+                f"<td>{charged}</td>"
+                f"<td>{100.0 * row['lost'] / n:.3f}</td></tr>"
+            )
+        out.append("</table>")
+    return out
+
+
 def render_dashboard(
     cells: Iterable[Tuple[dict, dict]],
     title: str = "PRESS performability campaign",
@@ -487,6 +594,11 @@ def render_dashboard(
     body += ["<h2>timelines</h2>", *_timeline_section(kept)]
     body += ["<h2>detector divergence</h2>", *_divergence_section(kept)]
     body += ["<h2>run health</h2>", *_health_section(kept)]
+    body += ["<h2>tail latency</h2>", *_latency_section(kept)]
+    body += [
+        "<h2>unavailability attribution</h2>",
+        *_attribution_section(kept),
+    ]
     return (
         "<!DOCTYPE html><html><head><meta charset='utf-8'>"
         f"<title>{escape(title)}</title><style>{_CSS}</style></head>"

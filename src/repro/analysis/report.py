@@ -217,6 +217,152 @@ def trace_summary_report(report) -> str:
     return "\n".join(lines)
 
 
+def _obs_groups(report):
+    """Cells with an observatory summary, grouped by (version, fault)."""
+    groups: Dict[tuple, list] = {}
+    for c in report.cells:
+        if not c.observatory:
+            continue
+        groups.setdefault((c.version, c.fault or "baseline"), []).append(
+            c.observatory
+        )
+    return groups
+
+
+_QUANTILE_COLUMNS = ("p50", "p95", "p99", "p999")
+
+
+def latency_band_report(report, confidence: float = 0.95) -> str:
+    """Tail-latency bands per (version, fault) from cell observatories.
+
+    One row per campaign stream: the P² quantile estimates of served
+    (``ok``) request latency, averaged across replications, with
+    Student-t CI half widths once at least two replications back a
+    stream.  Latencies are sim-seconds.  Cells served from a
+    pre-observatory cache contribute nothing; the section disappears
+    entirely when no cell carries latency sketches.
+    """
+    from ..experiments.repeaters import ci_half_width
+
+    groups = _obs_groups(report)
+    rows = []
+    stage_rows = []
+    for (version, fault), summaries in sorted(groups.items()):
+        overall = [
+            s["latency"]["overall"]
+            for s in summaries
+            if s.get("latency") and s["latency"]["overall"]["count"]
+        ]
+        if not overall:
+            continue
+        n = sum(o["count"] for o in overall)
+        cells = []
+        for q in _QUANTILE_COLUMNS:
+            samples = [o[q] for o in overall if o.get(q) is not None]
+            if not samples:
+                cells.append(f"{'—':>15s}")
+                continue
+            mean = sum(samples) / len(samples)
+            if len(samples) >= 2:
+                half = ci_half_width(samples, confidence)
+                cells.append(f"{mean:8.4f}±{half:6.4f}")
+            else:
+                cells.append(f"{mean:8.4f}{'':>7s}")
+        rows.append(f"  {version + '/' + fault:38s} {n:>7d}" + "".join(cells))
+        # Per-stage tails: the p95 of requests completing in each online
+        # stage (A-G), averaged across replications.
+        stages: Dict[str, list] = {}
+        for s in summaries:
+            for stage, sketch in (s.get("latency") or {}).get(
+                "by_stage", {}
+            ).items():
+                if sketch.get("p95") is not None:
+                    stages.setdefault(stage, []).append(sketch["p95"])
+        if len(stages) > 1:
+            parts = " ".join(
+                f"{stage}:{sum(v) / len(v):.3f}"
+                for stage, v in sorted(stages.items())
+            )
+            stage_rows.append(f"  {version + '/' + fault:38s} {parts}")
+    if not rows:
+        return ""
+    lines = [
+        "tail latency of served requests (sim-seconds; "
+        f"± = {confidence:.0%} Student-t CI across replications):",
+        f"  {'stream':38s} {'n':>7s}"
+        + "".join(f"{q:>15s}" for q in _QUANTILE_COLUMNS),
+    ]
+    lines += rows
+    if stage_rows:
+        lines.append("per-stage p95 (stage at completion time):")
+        lines += stage_rows
+    return "\n".join(lines)
+
+
+def attribution_report(report) -> str:
+    """Per-mechanism availability-cost tables, one per version.
+
+    Sums every cell's :class:`~repro.obs.attribution.AttributionProbe`
+    summary over the campaign: how many requests each mechanism lost
+    (rejects + timeouts) or slowed past the SLO, and the per-mechanism
+    slice of unavailability (``cost`` = lost / all requests).  Empty when
+    no cell carries an attribution summary (pre-observatory cache).
+    """
+    from ..obs.attribution import MECHANISMS
+
+    groups = _obs_groups(report)
+    per_version: Dict[str, dict] = {}
+    for (version, _fault), summaries in sorted(groups.items()):
+        agg = per_version.setdefault(
+            version,
+            {
+                "requests": 0,
+                "lost": 0,
+                "slow": 0,
+                "mech": {m: {"lost": 0, "slow": 0} for m in MECHANISMS},
+            },
+        )
+        for s in summaries:
+            att = s.get("attribution")
+            if not att:
+                continue
+            agg["requests"] += att["requests"]
+            agg["lost"] += att["total_lost"]
+            agg["slow"] += att["total_slow"]
+            for mech, row in att["mechanisms"].items():
+                dst = agg["mech"].setdefault(mech, {"lost": 0, "slow": 0})
+                dst["lost"] += row["lost"]
+                dst["slow"] += row["slow"]
+    per_version = {v: a for v, a in per_version.items() if a["requests"]}
+    if not per_version:
+        return ""
+    lines = [
+        "unavailability attribution "
+        "(lost = rejects + timeouts; slow = served above SLO):"
+    ]
+    for version, agg in per_version.items():
+        n = agg["requests"]
+        lines.append(
+            f"  {version}: {n} requests, {agg['lost']} lost "
+            f"({agg['lost'] / n * 100:.3f}% unavailable), "
+            f"{agg['slow']} slow"
+        )
+        lines.append(
+            f"    {'mechanism':22s} {'lost':>8s} {'slow':>8s}"
+            f" {'charged':>8s} {'cost':>8s}"
+        )
+        for mech in agg["mech"]:
+            row = agg["mech"][mech]
+            charged = row["lost"] + row["slow"]
+            if not charged:
+                continue
+            lines.append(
+                f"    {mech:22s} {row['lost']:8d} {row['slow']:8d}"
+                f" {charged:8d} {row['lost'] / n * 100:7.3f}%"
+            )
+    return "\n".join(lines)
+
+
 def timeline_report(record, bucket: float = 10.0) -> str:
     """Render one phase-1 record: plot + annotated instants."""
     tl = record.timeline

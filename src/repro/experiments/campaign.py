@@ -32,6 +32,8 @@ _default_jobs: int = 1
 _default_trace_dir: Optional[str] = None
 _default_trace_format: str = "both"
 _default_warm_start: bool = True
+_default_spans_dir: Optional[str] = None
+_default_span_sample: int = 1
 
 
 def configure(
@@ -40,11 +42,14 @@ def configure(
     trace_dir: Optional[str] = None,
     trace_format: Optional[str] = None,
     warm_start: Optional[bool] = None,
+    spans_dir: Optional[str] = None,
+    span_sample: Optional[int] = None,
 ) -> None:
     """Set the store/parallelism/tracing every campaign uses unless
     overridden."""
     global _default_store, _default_jobs, _default_trace_dir
     global _default_trace_format, _default_warm_start
+    global _default_spans_dir, _default_span_sample
     if store is not None:
         _default_store = store
     if jobs is not None:
@@ -55,6 +60,10 @@ def configure(
         _default_trace_format = trace_format
     if warm_start is not None:
         _default_warm_start = bool(warm_start)
+    if spans_dir is not None:
+        _default_spans_dir = str(spans_dir)
+    if span_sample is not None:
+        _default_span_sample = max(1, int(span_sample))
 
 
 def default_store() -> ResultStore:
@@ -84,6 +93,8 @@ def measure_profile_set(
         trace_dir=_default_trace_dir,
         trace_format=_default_trace_format,
         warm_start=_default_warm_start,
+        spans_dir=_default_spans_dir,
+        span_sample=_default_span_sample,
     )
     return sets[version]
 
@@ -123,6 +134,8 @@ def full_campaign_with_report(
         trace_dir=_default_trace_dir,
         trace_format=_default_trace_format,
         warm_start=_default_warm_start,
+        spans_dir=_default_spans_dir,
+        span_sample=_default_span_sample,
     )
 
 

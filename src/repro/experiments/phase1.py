@@ -29,6 +29,7 @@ from ..core.extract import ExperimentRecord
 from ..faults.spec import FaultKind, FaultSpec
 from ..press.cluster import PressCluster
 from ..press.config import ALL_VERSIONS, ALL_VERSIONS_EXTENDED, PressConfig
+from ..sim import ids
 from ..sim.monitor import Timeline
 from .settings import (
     DEFAULT_SETTINGS,
@@ -88,16 +89,26 @@ def run_warm(
     config: PressConfig,
     settings: Phase1Settings = DEFAULT_SETTINGS,
     recorder=None,
+    spans=None,
 ) -> PressCluster:
     """Build, start, and run a cluster to :func:`warm_point`.
 
     The returned cluster (with ``recorder`` attached to its bus, when
     given) is the shared prefix of every phase-1 cell: baseline and fault
-    continuations both pick up from exactly here.
+    continuations both pick up from exactly here.  ``spans`` (a
+    :class:`~repro.obs.spans.SpanCollector`) attaches before the first
+    event, so every request the run ever issues is trace-complete.
+
+    Global id counters rewind first, so the request/message/span ids a
+    run draws — and embeds in exported traces — depend on the run alone,
+    not on how many runs this process executed before it.
     """
+    ids.reset_global_ids()
     cluster = build_cluster(config, settings)
     if recorder is not None:
         recorder.attach(cluster.bus)
+    if spans is not None:
+        cluster.engine.spans = spans
     cluster.start()
     cluster.run_until(warm_point(settings))
     return cluster
@@ -108,6 +119,7 @@ def run_baseline(
     settings: Phase1Settings = DEFAULT_SETTINGS,
     recorder=None,
     warm_cluster: Optional[PressCluster] = None,
+    spans=None,
 ) -> Tuple[float, PressCluster]:
     """Fault-free run; returns (Tn in paper units, cluster).
 
@@ -116,12 +128,16 @@ def run_baseline(
     the run starts.  ``warm_cluster`` continues a prepared warm segment
     (typically restored from a checkpoint) instead of simulating one; its
     recorder was attached before the warm segment ran, so the two
-    arguments are mutually exclusive.
+    arguments are mutually exclusive.  ``spans`` requires a cold run: a
+    checkpoint restored mid-stream has no spans for its in-flight
+    requests, which would violate the trace-completeness invariant.
     """
     if warm_cluster is None:
-        cluster = run_warm(config, settings, recorder)
+        cluster = run_warm(config, settings, recorder, spans)
     elif recorder is not None:
         raise ValueError("warm_cluster already carries its recorder")
+    elif spans is not None:
+        raise ValueError("span collection requires a cold run")
     else:
         cluster = warm_cluster
     end = settings.warm + settings.fault_at
@@ -138,18 +154,22 @@ def run_single_fault(
     normal_throughput: Optional[float] = None,
     recorder=None,
     warm_cluster: Optional[PressCluster] = None,
+    spans=None,
 ) -> Tuple[ExperimentRecord, PressCluster]:
     """Inject ``kind`` into a running cluster and record the response.
 
     The fault is scheduled only once the warm segment has reached the
     injection instant, so the pre-injection simulation is byte-identical
     whether the warm segment was simulated here (cold) or restored from a
-    checkpoint (``warm_cluster``).
+    checkpoint (``warm_cluster``).  ``spans`` requires a cold run (see
+    :func:`run_baseline`).
     """
     if warm_cluster is None:
-        cluster = run_warm(config, settings, recorder)
+        cluster = run_warm(config, settings, recorder, spans)
     elif recorder is not None:
         raise ValueError("warm_cluster already carries its recorder")
+    elif spans is not None:
+        raise ValueError("span collection requires a cold run")
     else:
         cluster = warm_cluster
 

@@ -147,11 +147,21 @@ def _start_cell(
     return None, obs, {"status": STATUS_COLD}
 
 
+def _make_spans(spans: Optional[tuple]):
+    """Build a collector for ``spans`` = (dir, fmt, sample, label)."""
+    if spans is None:
+        return None
+    from ..obs.spans import SpanCollector
+
+    return SpanCollector(sample_every=spans[2])
+
+
 def _baseline_cell(
     version: str,
     settings: Phase1Settings,
     seed: int,
     trace: Optional[tuple] = None,
+    spans: Optional[tuple] = None,
     warm: Optional[WarmSpec] = None,
 ) -> dict:
     from ..obs.exporters import telemetry_summary
@@ -162,13 +172,18 @@ def _baseline_cell(
     cluster, obs, warm_prov = _start_cell(
         version, cell_settings, trace is not None, warm
     )
+    collector = _make_spans(spans)
     tn, cluster = run_baseline(
         ALL_VERSIONS_EXTENDED[version],
         cell_settings,
         recorder=None if cluster is not None else obs,
         warm_cluster=cluster,
+        spans=collector,
     )
     obs.finish(cluster)
+    _export_cell_spans(
+        collector, spans, cluster, version=version, fault=None, seed=seed
+    )
     end = cell_settings.warm + cell_settings.fault_at
     payload = {
         "kind": "baseline",
@@ -201,6 +216,7 @@ def _fault_cell(
     settings: Phase1Settings,
     seed: int,
     trace: Optional[tuple] = None,
+    spans: Optional[tuple] = None,
     warm: Optional[WarmSpec] = None,
 ) -> dict:
     from ..core.divergence import divergence_report
@@ -214,6 +230,7 @@ def _fault_cell(
     cluster, obs, warm_prov = _start_cell(
         version, cell_settings, trace is not None, warm
     )
+    collector = _make_spans(spans)
     # The cell measures its *own* pre-injection throughput as Tn.  The
     # extraction thresholds (impact/recovery, a few percent of Tn) need
     # Tn correlated with the run they judge; with per-group seeds that
@@ -226,8 +243,12 @@ def _fault_cell(
         cell_settings,
         recorder=None if cluster is not None else obs,
         warm_cluster=cluster,
+        spans=collector,
     )
     obs.finish(cluster)
+    _export_cell_spans(
+        collector, spans, cluster, version=version, fault=fault_value, seed=seed
+    )
     profile = extract_profile(
         record, mttr=FAULT_MTTR[kind], env=settings.environment
     )
@@ -278,6 +299,36 @@ def _export_cell_trace(
     )
 
 
+def _export_cell_spans(
+    collector,
+    spans: Optional[tuple],
+    cluster,
+    version: str,
+    fault: Optional[str],
+    seed: int,
+) -> None:
+    """Finish and write one cell's span files when span tracing is on.
+
+    ``spans`` is ``(spans_dir, fmt, sample_every, label)`` as packed by
+    :class:`CampaignRunner`, or ``None`` when spans are off.  Spans
+    never enter the cell payload: the stored result stays byte-identical
+    to a span-disabled run, which is the determinism contract.
+    """
+    if spans is None:
+        return
+    from ..obs.exporters import export_spans
+
+    collector.finish(cluster.engine.now)
+    spans_dir, fmt, _sample, label = spans
+    export_spans(
+        collector,
+        spans_dir,
+        label,
+        fmt,
+        meta={"version": version, "fault": fault, "seed": seed},
+    )
+
+
 # ----------------------------------------------------------------------
 # Reporting
 # ----------------------------------------------------------------------
@@ -296,6 +347,9 @@ class CellRecord:
     #: per-cell run telemetry (event counts + metrics snapshot); None
     #: for cells loaded from a pre-telemetry (schema v1) payload
     telemetry: Optional[dict] = None
+    #: per-cell observatory summary (stages/health/latency/attribution);
+    #: None for cells loaded from a pre-observatory payload
+    observatory: Optional[dict] = None
     #: warm-start provenance ("hit"/"miss"/"invalidated"/"cold"); None
     #: for result-store hits (those cells never touched a checkpoint)
     warm: Optional[str] = None
@@ -468,6 +522,8 @@ class CampaignRunner:
         on_cell: Optional[Callable[[CellRecord], None]] = None,
         trace_dir: Optional[str] = None,
         trace_format: str = "both",
+        spans_dir: Optional[str] = None,
+        span_sample: int = 1,
         warm_start: bool = True,
     ):
         self.settings = settings
@@ -477,6 +533,8 @@ class CampaignRunner:
         self.on_cell = on_cell
         self.trace_dir = str(trace_dir) if trace_dir is not None else None
         self.trace_format = trace_format
+        self.spans_dir = str(spans_dir) if spans_dir is not None else None
+        self.span_sample = max(1, int(span_sample))
         #: run-scoped warm-checkpoint spool (in-memory parallel runs)
         self._spool = None
         self.warm_start = warm_start
@@ -502,18 +560,31 @@ class CampaignRunner:
     def _lookup(self, cell: _Cell) -> Optional[dict]:
         if not self.use_cache:
             return None
-        if self.trace_dir is not None:
+        if self.trace_dir is not None or self.spans_dir is not None:
             # Tracing forces execution: a cached payload has no event
-            # stream to export.  Results are still stored, so the next
-            # un-traced run replays warm.
+            # stream (or span set) to export.  Results are still stored,
+            # so the next un-traced run replays warm.
             return None
         return self.store.get(cell.key(self._settings_key))
+
+    @staticmethod
+    def _label(cell: _Cell) -> str:
+        return f"{cell.version}__{cell.fault or 'baseline'}__rep{cell.rep}"
 
     def _trace_arg(self, cell: _Cell) -> Optional[tuple]:
         if self.trace_dir is None:
             return None
-        label = f"{cell.version}__{cell.fault or 'baseline'}__rep{cell.rep}"
-        return (self.trace_dir, self.trace_format, label)
+        return (self.trace_dir, self.trace_format, self._label(cell))
+
+    def _spans_arg(self, cell: _Cell) -> Optional[tuple]:
+        if self.spans_dir is None:
+            return None
+        return (
+            self.spans_dir,
+            self.trace_format,
+            self.span_sample,
+            self._label(cell),
+        )
 
     def _record(
         self, report: CampaignReport, cell: _Cell, payload: dict, cached: bool
@@ -526,6 +597,7 @@ class CampaignRunner:
             elapsed=0.0 if cached else float(payload.get("elapsed", 0.0)),
             cached=cached,
             telemetry=payload.get("telemetry"),
+            observatory=payload.get("observatory"),
             warm=None
             if cached
             else (payload.get("warm_start") or {}).get("status"),
@@ -580,6 +652,11 @@ class CampaignRunner:
         serial in-memory campaigns just use the process-local cache.
         """
         if not self.warm_start or not misses:
+            return None
+        if self.spans_dir is not None:
+            # Span cells run cold: a checkpoint restored mid-stream has
+            # no spans for its in-flight requests, which would violate
+            # the trace-completeness invariant the validator enforces.
             return None
         if isinstance(self.store, DiskStore):
             return WarmSpec(dir=str(self.store.cache_dir / "warmstart"))
@@ -677,6 +754,7 @@ class CampaignRunner:
                 self.settings,
                 cell.seed,
                 self._trace_arg(cell),
+                self._spans_arg(cell),
             )
         return (
             cell.version,
@@ -684,6 +762,7 @@ class CampaignRunner:
             self.settings,
             cell.seed,
             self._trace_arg(cell),
+            self._spans_arg(cell),
         )
 
     @staticmethod
@@ -964,6 +1043,8 @@ def run_campaign(
     on_cell: Optional[Callable[[CellRecord], None]] = None,
     trace_dir: Optional[str] = None,
     trace_format: str = "both",
+    spans_dir: Optional[str] = None,
+    span_sample: int = 1,
     warm_start: bool = True,
 ) -> Tuple[Dict[str, ProfileSet], CampaignReport]:
     """One-shot convenience wrapper around :class:`CampaignRunner`."""
@@ -975,6 +1056,8 @@ def run_campaign(
         on_cell=on_cell,
         trace_dir=trace_dir,
         trace_format=trace_format,
+        spans_dir=spans_dir,
+        span_sample=span_sample,
         warm_start=warm_start,
     )
     return runner.run(versions, faults)

@@ -52,7 +52,14 @@ from typing import Dict, Optional, Tuple, Union
 #:        record carries the replication index ("rep"), and the store
 #:        gains a repetition-summary namespace (per-stream rep counts,
 #:        stopping reasons, and CI half widths under ``repetition/``).
-SCHEMA_VERSION = 5
+#:   v6 — request-scoped observability: the observatory digest gains
+#:        always-on "latency" (streaming P² quantile sketches, overall
+#:        and per online stage) and "attribution" (per-mechanism
+#:        unavailability cost table) sections, the event stream gains
+#:        ``workload.request.done``, and phase-1 runs rewind the global
+#:        id counters at the warm boundary so exported traces embed
+#:        run-deterministic request ids.
+SCHEMA_VERSION = 6
 
 #: Environment variable consulted by the CLI for a default cache dir.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

@@ -52,6 +52,7 @@ from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 from ..sim import snapshot
+from ..sim.ids import global_id_state, restore_global_id_state
 from .settings import Phase1Settings
 
 #: Statuses a checkpoint lookup can report (cell payload provenance).
@@ -193,7 +194,14 @@ class WarmStartCache:
         if blob is None:
             blob = self._capture(version, settings, keep_events)
             self._store(digest, blob)
-        cluster, obs = snapshot.restore(blob)
+        cluster, obs, id_state = snapshot.restore(blob)
+        # Continue process-global id streams (request ids, message ids,
+        # connection generations) exactly where the captured run stood.
+        # Without this, ids issued by the *restoring* process can collide
+        # with ids still live in the restored state (pending client
+        # requests, unacked messages) and the continuation diverges from
+        # cold — the pool-worker bug of ROADMAP item 3.
+        restore_global_id_state(id_state)
         provenance = {
             "status": status,  # hit, miss, or invalidated at lookup time
             "digest": digest[:16],
@@ -205,7 +213,7 @@ class WarmStartCache:
         self, version: str, settings: Phase1Settings, keep_events: bool
     ) -> bytes:
         cluster, obs = _simulate_warm(version, settings, keep_events)
-        return snapshot.capture((cluster, obs))
+        return snapshot.capture((cluster, obs, global_id_state()))
 
 
 def _simulate_warm(version: str, settings: Phase1Settings, keep_events: bool):

@@ -122,6 +122,11 @@ class Fabric:
 
     def _lose(self, frame: Frame, reason: str) -> None:
         self._frames_lost.inc()
+        spans = self.engine.spans
+        if spans is not None and frame.trace_id:
+            spans.end_key(
+                ("net", frame.frame_id), self.engine.now, "lost", reason=reason
+            )
         bus = self.engine.bus
         if bus is not None:
             bus.publish(
@@ -131,6 +136,22 @@ class Fabric:
                 dst=frame.dst,
                 reason=reason,
             )
+
+    def _span_open(self, spans, frame: Frame) -> None:
+        """Open the transit span for a request-carrying frame.
+
+        Callers have already loaded ``engine.spans`` and checked
+        ``frame.trace_id`` — the span-disabled path never gets here.
+        """
+        spans.start(
+            frame.trace_id,
+            "net.frame",
+            self.engine.now,
+            node=frame.src,
+            key=("net", frame.frame_id),
+            kind=frame.kind,
+            dst=frame.dst,
+        )
 
     # -- assembly ------------------------------------------------------------
     def attach(
@@ -229,6 +250,9 @@ class Fabric:
             # A clean path implies reachability, so the SAN pre-check
             # below cannot fire — skip straight to the fast submit.
             frame.frame_id = next(self._frame_ids)
+            spans = self.engine.spans
+            if spans is not None and frame.trace_id:
+                self._span_open(spans, frame)
             self._submit_seq = seq = self._submit_seq + 1
             self._fast_submit(
                 frame, frame.size + WIRE_OVERHEAD_BYTES, seq, cached[1], cached[2]
@@ -238,6 +262,9 @@ class Fabric:
         if self.nics.get(frame.dst) is None:
             raise KeyError(f"unknown destination {frame.dst!r}")
         frame.frame_id = next(self._frame_ids)
+        spans = self.engine.spans
+        if spans is not None and frame.trace_id:
+            self._span_open(spans, frame)
         wire_size = frame.size + WIRE_OVERHEAD_BYTES
 
         entry = self._check_fast(frame.src, frame.dst)
@@ -295,9 +322,12 @@ class Fabric:
         dst_link = cached[2]
         frame_ids = self._frame_ids
         fast_submit = self._fast_submit
+        spans = self.engine.spans
         seq = self._submit_seq
         for frame in frames:
             frame.frame_id = next(frame_ids)
+            if spans is not None and frame.trace_id:
+                self._span_open(spans, frame)
             seq += 1
             fast_submit(frame, frame.size + WIRE_OVERHEAD_BYTES, seq,
                         src_link, dst_link)
@@ -405,6 +435,16 @@ class Fabric:
             busy["b2a"] = flight.end_d
         self.switch.frames_forwarded += 1
         dst_link._frames_carried.value += 1
+        spans = self.engine.spans
+        if spans is not None and flight.frame.trace_id:
+            # The precomputed hop times are bit-identical to what the
+            # slow path stamps at its per-hop events, so fast and slow
+            # runs export the same annotations.
+            spans.note(
+                spans.find(("net", flight.frame.frame_id)),
+                arrive_switch=flight.arrive1,
+                exit_switch=flight.exit,
+            )
         self._deliver(flight.frame)
 
     # -- fast/slow interleaving on a shared destination link ----------------
@@ -461,6 +501,7 @@ class Fabric:
         for link in self.links.values():
             link._resv.clear()
         switch = self.switch
+        spans = self.engine.spans
         for fl in flights:
             if fl.timer is not None:
                 fl.timer.cancel()
@@ -470,6 +511,14 @@ class Fabric:
             if fl.dst_final or fl.exit < now:
                 # Past the switch and the destination serializer: only the
                 # wire flight to the NIC remains.
+                if spans is not None and frame.trace_id:
+                    # Hops already virtually traversed: stamp the same
+                    # values the slow-path events would have.
+                    spans.note(
+                        spans.find(("net", frame.frame_id)),
+                        arrive_switch=fl.arrive1,
+                        exit_switch=fl.exit,
+                    )
                 switch.frames_forwarded += 1
                 dst_link = self.links[frame.dst]
                 dst_link._frames_carried.inc()
@@ -493,6 +542,11 @@ class Fabric:
                 )
             else:
                 # Inside the switch: forwarding already happened.
+                if spans is not None and frame.trace_id:
+                    spans.note(
+                        spans.find(("net", frame.frame_id)),
+                        arrive_switch=fl.arrive1,
+                    )
                 switch.frames_forwarded += 1
                 engine.call_at(
                     fl.exit, self._switch_exit, frame, fl.wire, fl.seq
@@ -508,6 +562,12 @@ class Fabric:
 
     # -- slow path ---------------------------------------------------------
     def _at_switch(self, frame: Frame, wire_size: int, seq: int = 0) -> None:
+        spans = self.engine.spans
+        if spans is not None and frame.trace_id:
+            spans.note(
+                spans.find(("net", frame.frame_id)),
+                arrive_switch=self.engine.now,
+            )
         forwarded = self.switch.forward(
             frame.dst, _AtDstLinkCb(self, frame, wire_size, seq)
         )
@@ -516,6 +576,12 @@ class Fabric:
             self._report_to_sender(frame, "switch-down")
 
     def _at_dst_link(self, frame: Frame, wire_size: int, seq: int = 0) -> None:
+        spans = self.engine.spans
+        if spans is not None and frame.trace_id:
+            spans.note(
+                spans.find(("net", frame.frame_id)),
+                exit_switch=self.engine.now,
+            )
         dst_link = self.links[frame.dst]
         if dst_link._resv:
             self._interleave_slow(dst_link, seq)
@@ -535,6 +601,11 @@ class Fabric:
             self._report_to_sender(frame, f"node-down:{frame.dst}")
             return
         self._frames_delivered.value += 1
+        spans = self.engine.spans
+        if spans is not None and frame.trace_id:
+            # Close before handing the frame up so the receiver's spans
+            # nest under the request, not under this transit.
+            spans.end_key(("net", frame.frame_id), self.engine.now)
         dst_nic.deliver(frame)
 
     def _report_to_sender(self, frame: Frame, reason: str) -> None:

@@ -27,6 +27,11 @@ class Frame:
             the fabric at submit time from a per-fabric counter, so two
             runs in one process produce identical ids (a process-global
             counter would make trace diffs depend on run order).
+        trace_id: the client request this frame works for (0 = none).
+            Set by the HTTP layer on request/response/reject frames so
+            the span collector can attribute fabric transit to the
+            request; transport-internal frames stay at 0 (their message
+            already carries the trace).
     """
 
     src: str
@@ -35,6 +40,7 @@ class Frame:
     kind: str
     payload: Any = None
     frame_id: int = 0
+    trace_id: int = 0
 
     def __post_init__(self) -> None:
         if self.size < 0:

@@ -90,6 +90,14 @@ OBS_HEALTH_DEGRADED = "obs.health.degraded"
 #: The watchdog saw the SLO satisfied again.  Fields: violated_for.
 OBS_HEALTH_RESTORED = "obs.health.restored"
 
+# -- workload -----------------------------------------------------------
+#: A client request reached its final outcome.  Published by the client
+#: machine at response/reject/timeout, so latency probes and the
+#: unavailability-attribution report see every request exactly once.
+#: Fields: req_id, client, outcome ("ok" | "reject" | "timeout"),
+#: latency (seconds; issue -> outcome).
+WORKLOAD_REQUEST_DONE = "workload.request.done"
+
 # -- timeline annotations ----------------------------------------------
 #: The unified timeline instant (fault-injected, reconfigured, fail-fast,
 #: rejoined, operator-reset, ...).  Published by
@@ -122,6 +130,7 @@ TAXONOMY = {
     NODE_REBOOT: "machine back up",
     PROCESS_EXIT: "supervised process terminated",
     PROCESS_RESTART: "restart daemon revived a process",
+    WORKLOAD_REQUEST_DONE: "client request reached its final outcome",
     MONITOR_BUCKET: "throughput bucket closed",
     OBS_STAGE_TRANSITION: "online detector reclassified the run",
     OBS_HEALTH_DEGRADED: "SLO violation began",

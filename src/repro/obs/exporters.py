@@ -211,6 +211,9 @@ _PH_REQUIRED = {
     "i": ("name", "pid", "tid", "ts"),
     "X": ("name", "pid", "tid", "ts", "dur"),
     "M": ("name", "pid"),
+    # Async nestable begin/end — the per-request span export.
+    "b": ("name", "cat", "id", "pid", "tid", "ts"),
+    "e": ("name", "cat", "id", "pid", "tid", "ts"),
 }
 
 
@@ -250,16 +253,208 @@ def validate_trace_dir(trace_dir) -> Dict[str, int]:
 
     Returns {filename: event count}; raises :class:`ValueError` on the
     first malformed file, or if the directory holds no traces at all.
+    Span files (``*.spans.jsonl``) are checked against the causal-trace
+    invariants (:func:`repro.obs.spans.check_span_invariants`), event
+    files against the sequencing rules, Chrome traces against the
+    ``trace_event`` subset we emit.
     """
     trace_dir = Path(trace_dir)
     results: Dict[str, int] = {}
     for path in sorted(trace_dir.rglob("*.jsonl")):
-        results[str(path.relative_to(trace_dir))] = validate_events_jsonl(path)
+        rel = str(path.relative_to(trace_dir))
+        if path.name.endswith(SPANS_SUFFIX):
+            results[rel] = validate_spans_jsonl(path)
+        else:
+            results[rel] = validate_events_jsonl(path)
     for path in sorted(trace_dir.rglob("*.trace.json")):
         results[str(path.relative_to(trace_dir))] = validate_chrome_trace(path)
     if not results:
         raise ValueError(f"{trace_dir}: no trace files found")
     return results
+
+
+# -- request-scoped span export ----------------------------------------
+
+#: Span files sit beside a run's event traces: ``<label>.spans.jsonl``
+#: (records) and ``<label>.spans.trace.json`` (Perfetto async spans).
+SPANS_SUFFIX = ".spans.jsonl"
+SPANS_CHROME_SUFFIX = ".spans.trace.json"
+
+
+def write_spans_jsonl(records, path, meta: Optional[dict] = None) -> Path:
+    """Write span records one-per-line; optional ``meta`` header first."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        if meta is not None:
+            fh.write(json.dumps({"meta": meta}, sort_keys=True) + "\n")
+        for rec in records:
+            fh.write(json.dumps(rec, sort_keys=True) + "\n")
+    return path
+
+
+def read_spans_jsonl(path) -> List[dict]:
+    """Read a span JSONL file back; the meta header line is skipped."""
+    records: List[dict] = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            d = json.loads(line)
+            if "meta" in d and "sid" not in d:
+                continue
+            records.append(d)
+    return records
+
+
+def validate_spans_jsonl(path) -> int:
+    """Check a span file is well formed *and* causally consistent.
+
+    Beyond per-line JSON shape, the whole file must satisfy the span
+    invariants: every span closed or explicitly dropped, children start
+    inside their parents (or carry a ``late`` mark), one root per trace,
+    no orphan parents.  Returns the span count.
+    """
+    from .spans import check_span_invariants
+
+    records: List[dict] = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                d = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not JSON ({exc})") from exc
+            if "meta" in d and "sid" not in d:
+                continue
+            for field in ("sid", "trace", "name", "start", "status"):
+                if field not in d:
+                    raise ValueError(f"{path}:{lineno}: span missing {field!r}")
+            records.append(d)
+    problems = check_span_invariants(records)
+    if problems:
+        shown = "; ".join(problems[:5])
+        more = f" (+{len(problems) - 5} more)" if len(problems) > 5 else ""
+        raise ValueError(f"{path}: span invariants violated: {shown}{more}")
+    return len(records)
+
+
+def spans_chrome_trace(
+    records, label: str = "run", meta: Optional[dict] = None
+) -> dict:
+    """Chrome ``trace_event`` async spans from span records.
+
+    Every request becomes one async nestable track (``cat="span"``,
+    ``id`` = the trace/request id in hex) under a single "requests"
+    process, with "b"/"e" events emitted in recursive causal order —
+    parent begins before its children, ends after them — so Perfetto
+    renders each request's hop tree nested.  ``late`` spans (work a
+    request triggered after it completed, e.g. cache-update broadcasts)
+    are emitted as top-level siblings of the root.
+    """
+    trace_events: List[dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": "requests"},
+        }
+    ]
+
+    by_trace: Dict[int, List[dict]] = {}
+    for rec in records:
+        by_trace.setdefault(rec["trace"], []).append(rec)
+
+    def emit(rec: dict, kids: Dict[Optional[int], List[dict]]) -> None:
+        ident = f"0x{rec['trace']:x}"
+        args = {"status": rec["status"]}
+        if rec.get("node") is not None:
+            args["node"] = rec["node"]
+        args.update(rec.get("notes", {}))
+        start_ts = round(rec["start"] * _US, 3)
+        base = {
+            "cat": "span",
+            "id": ident,
+            "name": rec["name"],
+            "pid": 1,
+            "tid": 1,
+        }
+        trace_events.append(
+            {"ph": "b", "ts": start_ts, "args": args, **base}
+        )
+        for kid in kids.get(rec["sid"], ()):
+            emit(kid, kids)
+        end = rec.get("end")
+        trace_events.append(
+            {
+                "ph": "e",
+                "ts": round(end * _US, 3) if end is not None else start_ts,
+                **base,
+            }
+        )
+
+    for trace in sorted(by_trace):
+        recs = by_trace[trace]
+        kids: Dict[Optional[int], List[dict]] = {}
+        tops: List[dict] = []
+        for rec in recs:
+            if rec.get("parent") is None or rec.get("late"):
+                tops.append(rec)
+            else:
+                kids.setdefault(rec["parent"], []).append(rec)
+        for top in tops:
+            emit(top, kids)
+
+    out = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"label": label},
+    }
+    if meta:
+        out["otherData"].update(meta)
+    return out
+
+
+def export_spans(
+    collector,
+    trace_dir,
+    label: str,
+    fmt: str = "both",
+    meta: Optional[dict] = None,
+) -> List[Path]:
+    """Write one run's span files under ``trace_dir``; returns the paths.
+
+    ``collector`` is a finished :class:`~repro.obs.spans.SpanCollector`;
+    ``fmt`` is one of ``jsonl``, ``chrome``, or ``both`` (matching
+    :func:`export_run`).
+    """
+    if fmt not in TRACE_FORMATS:
+        raise ValueError(f"unknown trace format {fmt!r} (want one of {TRACE_FORMATS})")
+    records = [span.to_record() for span in collector.spans]
+    full_meta = {"sample_every": collector.sample_every}
+    if meta:
+        full_meta.update(meta)
+    trace_dir = Path(trace_dir)
+    written: List[Path] = []
+    if fmt in ("jsonl", "both"):
+        written.append(
+            write_spans_jsonl(
+                records, trace_dir / f"{label}{SPANS_SUFFIX}", full_meta
+            )
+        )
+    if fmt in ("chrome", "both"):
+        path = trace_dir / f"{label}{SPANS_CHROME_SUFFIX}"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(spans_chrome_trace(records, label, full_meta)),
+            encoding="utf-8",
+        )
+        written.append(path)
+    return written
 
 
 # -- summaries + the per-cell export entry point ------------------------

@@ -55,6 +55,12 @@ from dataclasses import dataclass, field
 from typing import Deque, List, Optional, Tuple
 
 from ..core.extract import DEFAULT_ENVIRONMENT, Environment
+from .attribution import (
+    DEFAULT_ATTRIBUTION,
+    AttributionConfig,
+    AttributionProbe,
+    LatencyProbe,
+)
 from .events import (
     ANNOTATION,
     FAULT_CLEARED,
@@ -341,6 +347,32 @@ class StageDetector:
             "impact_observed": self.impact_observed,
         }
 
+    # -- snapshot support (see repro.sim.snapshot) ---------------------
+    def snapshot_state(self) -> dict:
+        """Deterministic-state digest input (see Snapshottable).
+
+        Covers everything the classifier carries across a checkpoint
+        boundary — including the rolling rate window, which keeps
+        accumulating through the SLO calibration phase, so a warm
+        boundary landing mid-calibration still digests identically to
+        the cold run at the same instant.
+        """
+        return {
+            "stage": self.stage,
+            "transitions": [t.to_dict() for t in self.transitions],
+            "tn_estimate": self.tn_estimate,
+            "injected_at": self.injected_at,
+            "detected_at": self.detected_at,
+            "repaired_at": self.repaired_at,
+            "reset_at": self.reset_at,
+            "rejoined_at": self.rejoined_at,
+            "impact_observed": self.impact_observed,
+            "bucket_width": self.bucket_width,
+            "rates": list(self._rates),
+            "g_start": self._g_start,
+            "end": self._end,
+        }
+
 
 @dataclass(frozen=True)
 class SLOConfig:
@@ -479,14 +511,37 @@ class HealthWatchdog:
             "min_availability": self.min_availability,
         }
 
+    # -- snapshot support (see repro.sim.snapshot) ---------------------
+    def snapshot_state(self) -> dict:
+        """Deterministic-state digest input (see Snapshottable).
+
+        ``_calibrating`` is the part that matters for warm-start
+        correctness: a checkpoint taken before the 20s SLO calibration
+        has elapsed must carry the partial calibration buckets, or the
+        restored watchdog would re-derive a different Tn reference than
+        the cold run.
+        """
+        return {
+            "slo": self.slo.to_dict(),
+            "tn": self.tn,
+            "episodes": list(self.episodes),
+            "window": list(self._window),
+            "calibrating": list(self._calibrating),
+            "violating_since": self._violating_since,
+            "violation_reason": self._violation_reason,
+            "min_throughput": self.min_throughput,
+            "min_availability": self.min_availability,
+        }
+
 
 class Observatory:
     """The full observation harness one campaign cell attaches to a run.
 
     Bundles an optional raw :class:`~repro.obs.bus.EventRecorder` (for
-    trace export + event counts), a :class:`StageDetector`, and a
-    :class:`HealthWatchdog` behind the single ``attach(bus)`` hook the
-    phase-1 drivers accept as ``recorder=``.
+    trace export + event counts), a :class:`StageDetector`, a
+    :class:`HealthWatchdog`, and the always-on latency/attribution
+    probes (:mod:`repro.obs.attribution`) behind the single
+    ``attach(bus)`` hook the phase-1 drivers accept as ``recorder=``.
     """
 
     def __init__(
@@ -494,10 +549,13 @@ class Observatory:
         recorder=None,
         env: Environment = DEFAULT_ENVIRONMENT,
         slo: SLOConfig = DEFAULT_SLO,
+        attribution: AttributionConfig = DEFAULT_ATTRIBUTION,
     ):
         self.recorder = recorder
         self.detector = StageDetector(env=env)
         self.watchdog = HealthWatchdog(slo=slo)
+        self.latency = LatencyProbe(detector=self.detector)
+        self.attribution = AttributionProbe(config=attribution)
         self.bus = None
 
     def attach(self, bus) -> "Observatory":
@@ -505,6 +563,8 @@ class Observatory:
             self.recorder.attach(bus)
         self.detector.attach(bus)
         self.watchdog.attach(bus)
+        self.latency.attach(bus)
+        self.attribution.attach(bus)
         self.bus = bus
         return self
 
@@ -523,4 +583,16 @@ class Observatory:
         return {
             "stages": self.detector.summary(),
             "health": self.watchdog.summary(),
+            "latency": self.latency.summary(),
+            "attribution": self.attribution.summary(),
+        }
+
+    # -- snapshot support (see repro.sim.snapshot) ---------------------
+    def snapshot_state(self) -> dict:
+        """Deterministic-state digest input (see Snapshottable)."""
+        return {
+            "detector": self.detector.snapshot_state(),
+            "watchdog": self.watchdog.snapshot_state(),
+            "latency": self.latency.snapshot_state(),
+            "attribution": self.attribution.snapshot_state(),
         }

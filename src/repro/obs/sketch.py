@@ -1,0 +1,203 @@
+"""Streaming quantile sketches for per-request latency (stdlib only).
+
+The paper reports availability and throughput averages; what makes the
+TCP-vs-VIA comparison *interpretable* is the tail — the p95/p99/p999 of
+client-observed request latency per stage, where TCP's retransmission
+backoff and VIA's fail-fast rejections pull in opposite directions.
+Recording every latency sample per cell would bloat the result store
+(a standard-scale cell completes tens of thousands of requests), so the
+observatory folds each sample into a fixed-size streaming sketch
+instead.
+
+The estimator is the P² algorithm (Jain & Chlamtac, CACM 1985): five
+markers per tracked quantile, updated with a piecewise-parabolic height
+adjustment — O(1) memory and time per observation, no buffers beyond
+the first five samples, and fully deterministic (same sample sequence,
+same estimate), which keeps warm/cold and serial/parallel campaign
+parity intact.  The same no-scipy constraint as
+:mod:`repro.experiments.repeaters` applies: stdlib ``math`` only.
+
+Accuracy is what P² promises, not an order statistic: a few percent of
+the true quantile on smooth distributions, looser on pathological ones.
+The hypothesis suite (``tests/obs/test_sketch.py``) pins the envelope
+against exact percentiles on synthetic distributions.  Exactness where
+it matters is preserved structurally: ``min``/``max`` are exact, and
+sketches with five or fewer samples report exact order statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+#: The campaign's standard latency grid: median plus the tails the
+#: paper's availability story turns on.
+DEFAULT_QUANTILES = (0.5, 0.95, 0.99, 0.999)
+
+
+class P2Quantile:
+    """One P² marker bank estimating a single quantile ``p``."""
+
+    __slots__ = ("p", "_q", "_n", "_np", "_dn", "count")
+
+    def __init__(self, p: float):
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {p}")
+        self.p = p
+        self.count = 0
+        self._q: List[float] = []  # marker heights
+        self._n: List[float] = []  # marker positions (1-based)
+        self._np: List[float] = []  # desired positions
+        self._dn: List[float] = []  # desired position increments
+
+    def observe(self, x: float) -> None:
+        self.count += 1
+        q, n = self._q, self._n
+        if self.count <= 5:
+            q.append(x)
+            q.sort()
+            if self.count == 5:
+                p = self.p
+                self._n = [1.0, 2.0, 3.0, 4.0, 5.0]
+                self._np = [1.0, 1 + 2 * p, 1 + 4 * p, 3 + 2 * p, 5.0]
+                self._dn = [0.0, p / 2, p, (1 + p) / 2, 1.0]
+            return
+
+        # Locate the cell x falls in and bump the outer markers.
+        if x < q[0]:
+            q[0] = x
+            k = 0
+        elif x >= q[4]:
+            q[4] = x
+            k = 3
+        else:
+            k = 0
+            while k < 3 and x >= q[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            n[i] += 1.0
+        np_, dn = self._np, self._dn
+        for i in range(5):
+            np_[i] += dn[i]
+
+        # Nudge the three middle markers toward their desired positions
+        # with the piecewise-parabolic (P²) interpolation, falling back
+        # to linear when the parabola would leave the bracketing cell.
+        for i in (1, 2, 3):
+            d = np_[i] - n[i]
+            if (d >= 1.0 and n[i + 1] - n[i] > 1.0) or (
+                d <= -1.0 and n[i - 1] - n[i] < -1.0
+            ):
+                s = 1.0 if d >= 0 else -1.0
+                qp = self._parabolic(i, s)
+                if q[i - 1] < qp < q[i + 1]:
+                    q[i] = qp
+                else:
+                    q[i] = self._linear(i, s)
+                n[i] += s
+
+    def _parabolic(self, i: int, s: float) -> float:
+        q, n = self._q, self._n
+        return q[i] + s / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + s)
+            * (q[i + 1] - q[i])
+            / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - s)
+            * (q[i] - q[i - 1])
+            / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, s: float) -> float:
+        q, n = self._q, self._n
+        j = i + int(s)
+        return q[i] + s * (q[j] - q[i]) / (n[j] - n[i])
+
+    @property
+    def value(self) -> float:
+        """Current estimate (exact order statistic below six samples)."""
+        if self.count == 0:
+            return float("nan")
+        q = self._q
+        if self.count <= 5:
+            # Nearest-rank on the sorted buffer.
+            idx = max(0, min(len(q) - 1, round(self.p * (len(q) - 1))))
+            return q[idx]
+        return q[2]
+
+
+class QuantileSketch:
+    """A bank of P² estimators plus exact count/min/max/mean.
+
+    ``observe`` is the hot-path entry point — one call per completed
+    request — and costs a handful of float compares per tracked
+    quantile.  ``to_dict`` emits the JSON-ready digest stored in cell
+    payloads and aggregated by the campaign report.
+    """
+
+    __slots__ = ("quantiles", "_marks", "count", "sum", "min", "max")
+
+    def __init__(self, quantiles: Sequence[float] = DEFAULT_QUANTILES):
+        self.quantiles: Tuple[float, ...] = tuple(quantiles)
+        self._marks = [P2Quantile(p) for p in self.quantiles]
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, x: float) -> None:
+        self.count += 1
+        self.sum += x
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+        for mark in self._marks:
+            mark.observe(x)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else float("nan")
+
+    def quantile(self, p: float) -> float:
+        for mark in self._marks:
+            if mark.p == p:
+                return mark.value
+        raise KeyError(f"quantile {p} not tracked (have {self.quantiles})")
+
+    @staticmethod
+    def _label(p: float) -> str:
+        # 0.5 -> "p50", 0.999 -> "p999": the report/dashboard key style
+        # (percent, with the decimal point dropped for sub-percent tails).
+        percent = f"{p * 100:.6f}".rstrip("0").rstrip(".")
+        return "p" + percent.replace(".", "")
+
+    def to_dict(self) -> dict:
+        out: Dict[str, object] = {
+            "count": self.count,
+            "mean": self.mean if self.count else None,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+        for mark in self._marks:
+            out[self._label(mark.p)] = mark.value if self.count else None
+        return out
+
+    # -- snapshot support (see repro.sim.snapshot) ---------------------
+    def snapshot_state(self) -> dict:
+        """Full marker state, so warm/cold digests agree mid-stream."""
+        return {
+            "quantiles": list(self.quantiles),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "marks": [
+                {
+                    "q": list(m._q),
+                    "n": list(m._n),
+                    "np": list(m._np),
+                    "dn": list(m._dn),
+                    "count": m.count,
+                }
+                for m in self._marks
+            ],
+        }

@@ -17,7 +17,6 @@ preserves what matters for availability accounting:
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -25,8 +24,9 @@ from ..net.nic import Nic
 from ..net.packet import Frame
 from ..osim.node import Node
 from ..sim.engine import Engine
+from ..sim.ids import IdSource
 
-_req_ids = itertools.count(1)
+_req_ids = IdSource("press.http.req_ids")
 
 #: Bytes of an HTTP GET on the wire (request line + headers).
 HTTP_REQUEST_BYTES = 300
@@ -81,14 +81,44 @@ class HttpPort:
             self._refuse(req)
             return
         self.accepted += 1
+        spans = self.engine.spans
+        if spans is not None:
+            # Open on accept, closed by send_response — the span covers
+            # parse, cache/disk work and any intra-cluster forwarding.
+            spans.start(
+                req.req_id,
+                "http.serve",
+                self.engine.now,
+                node=self.node.node_id,
+                key=("serve", req.req_id),
+            )
         self.node.cpu.submit(self.parse_cost, self._dispatch, req)
 
     def _dispatch(self, req: HttpRequest) -> None:
         """Parsed-request work item (indirect so ``on_request`` rebinds)."""
+        spans = self.engine.spans
+        if spans is not None:
+            spans.note(
+                spans.find(("serve", req.req_id)), parsed_at=self.engine.now
+            )
         self.on_request(req)
 
     def _refuse(self, req: HttpRequest) -> None:
         self.refused += 1
+        spans = self.engine.spans
+        if spans is not None:
+            # Instantaneous by design: the kernel RSTs without the
+            # process ever seeing the request (the fail-fast mechanism).
+            spans.end(
+                spans.start(
+                    req.req_id,
+                    "http.refuse",
+                    self.engine.now,
+                    node=self.node.node_id,
+                ),
+                self.engine.now,
+                "refused",
+            )
         self.nic.send(
             Frame(
                 src=self.node.node_id,
@@ -96,11 +126,18 @@ class HttpPort:
                 size=64,
                 kind="http-reject",
                 payload=req.req_id,
+                trace_id=req.req_id,
             )
         )
 
     def send_response(self, req: HttpRequest, nbytes: int) -> None:
         """Ship the file body back to the client."""
+        spans = self.engine.spans
+        if spans is not None:
+            # Close before the NIC submit so the response's fabric
+            # transit is a sibling of the serve span, not a child —
+            # the critical path splits server time from wire time.
+            spans.end_key(("serve", req.req_id), self.engine.now)
         self.nic.send(
             Frame(
                 src=self.node.node_id,
@@ -108,5 +145,6 @@ class HttpPort:
                 size=nbytes + HTTP_RESPONSE_OVERHEAD_BYTES,
                 kind="http-resp",
                 payload=req.req_id,
+                trace_id=req.req_id,
             )
         )

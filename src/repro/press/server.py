@@ -69,6 +69,12 @@ class PressServer:
         self.pending_forwards: Dict[int, Tuple[HttpRequest, str]] = {}
         self._update_batch: List[Tuple[str, str]] = []
         self._batch_timer_armed = False
+        # Request attribution for cache-update broadcasts: the request
+        # whose cache insertion opened the current batch.  Maintained
+        # unconditionally (pure ints, deterministic) so span-enabled and
+        # span-disabled runs carry identical server state.
+        self._active_trace = 0
+        self._batch_trace = 0
 
         # Counters (cumulative across incarnations).
         self._requests_handled = bound_counter(
@@ -146,6 +152,8 @@ class PressServer:
         self.pending_forwards = {}
         self._update_batch = []
         self._batch_timer_armed = False
+        self._active_trace = 0
+        self._batch_trace = 0
         self.membership = Membership(
             engine=self.engine,
             self_id=self.node_id,
@@ -211,10 +219,23 @@ class PressServer:
             return
         size = self.fileset.size(req.file_id)
         self._disk_reads.inc()
+        spans = self.engine.spans
+        if spans is not None:
+            spans.start(
+                req.req_id,
+                "press.disk",
+                self.engine.now,
+                node=self.node_id,
+                key=("disk", self.node_id, req.req_id),
+                file=req.file_id,
+            )
         self.node.disk_read(size, self._disk_done, req, size)
 
     def _disk_done(self, req: HttpRequest, size: int) -> None:
         """Disk helper thread finished; hand back to the main loop."""
+        spans = self.engine.spans
+        if spans is not None:
+            spans.end_key(("disk", self.node_id, req.req_id), self.engine.now)
         self.node.cpu.submit(
             self.config.http.cache_insert, self._serve_after_disk, req, size
         )
@@ -222,7 +243,9 @@ class PressServer:
     def _serve_after_disk(self, req: HttpRequest, size: int) -> None:
         if self.cache is None:
             return
+        self._active_trace = req.req_id
         self.cache.insert(req.file_id, size)
+        self._active_trace = 0
         self._local_serves.inc()
         self._respond(req, size)
 
@@ -240,10 +263,24 @@ class PressServer:
             return
         self._requests_forwarded.inc()
         self.pending_forwards[req.req_id] = (req, owner)
+        spans = self.engine.spans
+        if spans is not None:
+            # Covers the whole round trip: fwd-req out, remote serve,
+            # file-data back.  Closed by _finish_forwarded, or by
+            # _handle_exclusion when membership purges the forward.
+            spans.start(
+                req.req_id,
+                "press.forward",
+                self.engine.now,
+                node=self.node_id,
+                key=("fwd", req.req_id),
+                owner=owner,
+            )
         msg = Message(
             "fwd-req",
             self.config.forward_msg_bytes,
             payload=(req.req_id, req.file_id, self.node_id),
+            trace_id=req.req_id,
         )
         self._send_on(channel, msg)
 
@@ -273,6 +310,18 @@ class PressServer:
     def _serve_remote(self, origin: str, msg: Message) -> None:
         """We are the service node for a forwarded request."""
         req_id, file_id, origin_id = msg.payload
+        spans = self.engine.spans
+        if spans is not None:
+            # Nests under the origin's press.forward span (still open on
+            # this trace); closed when the file-data reply is posted.
+            spans.start(
+                req_id,
+                "press.remote",
+                self.engine.now,
+                node=self.node_id,
+                key=("remote", self.node_id, req_id),
+                file=file_id,
+            )
         size = self.cache.lookup(file_id)
         if size is not None:
             self._remote_serves.inc()
@@ -280,6 +329,15 @@ class PressServer:
             return
         size = self.fileset.size(file_id)
         self._disk_reads.inc()
+        if spans is not None:
+            spans.start(
+                req_id,
+                "press.disk",
+                self.engine.now,
+                node=self.node_id,
+                key=("disk", self.node_id, req_id),
+                file=file_id,
+            )
         self.node.disk_read(
             size, self._remote_read_done, origin_id, req_id, file_id, size
         )
@@ -288,6 +346,9 @@ class PressServer:
         self, origin_id: str, req_id: int, file_id: str, size: int
     ) -> None:
         """Disk helper finished a forwarded read; back to the main loop."""
+        spans = self.engine.spans
+        if spans is not None:
+            spans.end_key(("disk", self.node_id, req_id), self.engine.now)
         self.node.cpu.submit(
             self.config.http.cache_insert,
             self._remote_disk_done,
@@ -302,17 +363,26 @@ class PressServer:
     ) -> None:
         if self.cache is None:
             return
+        self._active_trace = req_id
         self.cache.insert(file_id, size)
+        self._active_trace = 0
         self._remote_serves.inc()
         self._send_file_data(origin_id, req_id, file_id, size)
 
     def _send_file_data(
         self, origin_id: str, req_id: int, file_id: str, size: int
     ) -> None:
+        spans = self.engine.spans
+        if spans is not None:
+            # The remote serve ends as the reply is posted; the reply's
+            # transport span becomes a sibling under press.forward.
+            spans.end_key(("remote", self.node_id, req_id), self.engine.now)
         channel = self.transport.channel(origin_id)
         if channel is None or channel.broken:
             return  # initial node is gone; its client will time out
-        msg = Message("file-data", size, payload=(req_id, file_id))
+        msg = Message(
+            "file-data", size, payload=(req_id, file_id), trace_id=req_id
+        )
         self._send_on(channel, msg)
 
     def _finish_forwarded(self, msg: Message) -> None:
@@ -320,6 +390,9 @@ class PressServer:
         entry = self.pending_forwards.pop(req_id, None)
         if entry is None:
             return  # request was purged (peer excluded) or duplicated
+        spans = self.engine.spans
+        if spans is not None:
+            spans.end_key(("fwd", req_id), self.engine.now)
         req, _owner = entry
         self._respond(req, msg.size)
 
@@ -327,6 +400,10 @@ class PressServer:
     # Cache-content dissemination
     # ------------------------------------------------------------------
     def _on_cache_change(self, action: str, file_id: str) -> None:
+        if not self._update_batch:
+            # The request whose insertion opened this batch gets the
+            # broadcast attributed to it (a "late" child of its trace).
+            self._batch_trace = self._active_trace
         self._update_batch.append((action, file_id))
         if len(self._update_batch) >= self.config.cache_update_batch:
             self._flush_cache_updates()
@@ -347,8 +424,10 @@ class PressServer:
     def _flush_cache_updates(self) -> None:
         if not self._update_batch or self.membership is None:
             self._update_batch = []
+            self._batch_trace = 0
             return
         batch, self._update_batch = self._update_batch, []
+        trace, self._batch_trace = self._batch_trace, 0
         size = self.config.cache_update_msg_bytes + 8 * len(batch)
         for peer in self.membership.peers():
             channel = self.transport.channel(peer)
@@ -356,7 +435,11 @@ class PressServer:
                 continue
             # Broadcasts ride the helper send thread; backpressure is
             # absorbed by the transport queue rather than blocking here.
-            channel.send(Message("cache-updates", size, payload=list(batch)))
+            channel.send(
+                Message(
+                    "cache-updates", size, payload=list(batch), trace_id=trace
+                )
+            )
 
     def _apply_cache_updates(
         self, peer: str, batch: List[Tuple[str, str]]
@@ -432,8 +515,15 @@ class PressServer:
             for rid, (_req, owner) in self.pending_forwards.items()
             if owner == peer
         ]
+        spans = self.engine.spans
         for rid in stale:
             del self.pending_forwards[rid]
+            if spans is not None:
+                # The reconfiguration abandoned this forward; its client
+                # times out.  Charged to membership in the attribution.
+                spans.end_key(
+                    ("fwd", rid), self.engine.now, "purged", peer=peer
+                )
 
     def _handle_inclusion(self, peer: str) -> None:
         self.annotations.mark("member-included", f"{self.node_id} += {peer}")

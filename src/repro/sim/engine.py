@@ -188,6 +188,9 @@ class Engine:
         # run pays one attribute load per would-be event.
         self.bus: Optional[Any] = None
         self.metrics: Optional[Any] = None
+        #: request-scoped span collector (repro.obs.spans), same
+        #: zero-subscriber discipline: ``if engine.spans is not None``.
+        self.spans: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Scheduling

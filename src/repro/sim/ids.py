@@ -1,0 +1,115 @@
+"""Process-global id sources that snapshots can capture and restore.
+
+Several modules hand out monotonically increasing ids from module-level
+counters: HTTP request ids, transport message ids, TCP connection
+generations, VIA channel generations.  The ids are *labels* — nothing
+branches on their absolute value — so ordinary runs may start them at
+any offset (which is why serial and pool-worker campaigns agree even
+though their counters sit at different positions).
+
+Warm-state checkpoints break that innocence.  A restored simulation
+carries ids *embedded in live state* (in-flight requests in a client's
+pending table, unacked messages, connection generations), while fresh
+ids keep coming from the **restoring** process's counter.  When the
+restoring counter happens to sit just below the captured in-flight
+window, newly issued ids collide with restored ones — a client's
+pending entry is silently overwritten and request outcomes are
+misattributed, so the continuation diverges from the cold run.  This is
+exactly the pool-worker divergence documented in ROADMAP item 3: pool
+workers restore with whatever counter position their previous cells
+left behind.
+
+The cure is to treat the counters as simulation state: an
+:class:`IdSource` is a drop-in replacement for ``itertools.count(1)``
+whose position can be read (:func:`global_id_state`) and re-applied
+(:func:`restore_global_id_state`).  The warm-start layer embeds the
+positions in every checkpoint and restores them before the continuation
+runs, so a warm-started cell draws the same ids a cold run would —
+warm == cold holds unconditionally, regardless of which process restores.
+
+Only one simulation runs at a time in any process (cells are
+process-parallel, not thread-parallel), so rewinding a counter on
+restore cannot collide with a concurrent run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Registry of every IdSource by name (import order fixes the contents).
+_sources: Dict[str, "IdSource"] = {}
+
+
+class IdSource:
+    """A named, snapshot-aware replacement for ``itertools.count(1)``.
+
+    Supports the iterator protocol (``next(source)``) so call sites keep
+    their ``itertools.count`` idiom.  ``peek`` is the value the next
+    ``next()`` will return; ``jump(value)`` repositions the counter (the
+    restore path).
+    """
+
+    __slots__ = ("name", "_next")
+
+    def __init__(self, name: str, start: int = 1):
+        if name in _sources:
+            raise ValueError(f"duplicate IdSource name {name!r}")
+        self.name = name
+        self._next = start
+        _sources[name] = self
+
+    def __iter__(self) -> "IdSource":
+        return self
+
+    def __next__(self) -> int:
+        value = self._next
+        self._next = value + 1
+        return value
+
+    @property
+    def peek(self) -> int:
+        return self._next
+
+    def jump(self, value: int) -> None:
+        """Reposition the counter (used when restoring a checkpoint)."""
+        self._next = int(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<IdSource {self.name} next={self._next}>"
+
+
+def global_id_state() -> Dict[str, int]:
+    """Position of every registered id source, keyed by name.
+
+    Captured alongside a simulation snapshot so the restoring process
+    can continue the id streams exactly where the captured run stood.
+    """
+    return {name: src.peek for name, src in sorted(_sources.items())}
+
+
+def reset_global_ids() -> None:
+    """Rewind every registered id source to 1 (a fresh-run boundary).
+
+    The phase-1 drivers call this before building a cluster so the ids a
+    run draws are a function of the run alone, not of how many runs the
+    process executed before it.  That is what lets exported traces and
+    span files embed *raw* request/message ids and still be byte-identical
+    across processes, campaign orderings, and warm/cold paths (warm
+    restores then overwrite the positions with the captured ones, which
+    were themselves produced from a reset).
+    """
+    for src in _sources.values():
+        src.jump(1)
+
+
+def restore_global_id_state(state: Dict[str, int]) -> None:
+    """Re-apply captured counter positions in the restoring process.
+
+    Unknown names are ignored (a checkpoint from a build with fewer
+    sources restores cleanly); sources absent from ``state`` keep their
+    current position.
+    """
+    for name, value in state.items():
+        src = _sources.get(name)
+        if src is not None:
+            src.jump(value)

@@ -67,7 +67,11 @@ from .engine import SimulationError
 #: component changes its pickled layout in a way that invalidates
 #: existing checkpoints.  Folded into :func:`checkpoint_digest`, so stale
 #: checkpoints miss instead of resuming wrongly.
-FORMAT_VERSION = 1
+#:
+#: v2: warm checkpoints carry the global id-counter positions
+#:     (``repro.sim.ids``) alongside the (cluster, observatory) pair, and
+#:     ``Frame`` grew a ``trace_id`` slot for request-scoped tracing.
+FORMAT_VERSION = 2
 
 #: Protocol 4 is the newest protocol supported by every interpreter in
 #: the CI matrix; the digest pins the writer's Python anyway, this just

@@ -27,13 +27,13 @@ mechanism.
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from ..sim.engine import Engine, Event
+from ..sim.ids import IdSource
 
-_message_ids = itertools.count(1)
+_message_ids = IdSource("transports.message_ids")
 
 
 class CommError(Exception):
@@ -66,7 +66,13 @@ class CorruptionKind(enum.Enum):
 
 @dataclass(slots=True)
 class Message:
-    """An application-level message between cluster nodes."""
+    """An application-level message between cluster nodes.
+
+    ``trace_id`` names the client request this message works for
+    (0 = none) — the PRESS server stamps it on forwards, file-data
+    replies, and the cache-update broadcasts a traced request tipped,
+    so transport spans land in the right request tree.
+    """
 
     msg_type: str
     size: int
@@ -74,6 +80,7 @@ class Message:
     corruption: CorruptionKind = CorruptionKind.NONE
     skew: int = 0  # byte skew for OFF_BY_N_SIZE faults
     msg_id: int = field(default_factory=lambda: next(_message_ids))
+    trace_id: int = 0
 
     def __post_init__(self) -> None:
         if self.size < 0:
@@ -209,6 +216,11 @@ class Transport:
 
     # -- helpers for subclasses ----------------------------------------------
     def _deliver_up(self, peer: str, msg: Message) -> None:
+        spans = self.engine.spans
+        if spans is not None and msg.trace_id:
+            # Close the sender's message span: the message is now in the
+            # application's hands (recv cost charged by the caller).
+            spans.end_key(("msg", msg.msg_id), self.engine.now)
         if self.on_message is not None:
             self.on_message(peer, msg)
 

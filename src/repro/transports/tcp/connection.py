@@ -19,7 +19,6 @@ format:
 
 from __future__ import annotations
 
-import itertools
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, List, Optional
@@ -28,6 +27,7 @@ from ...net.packet import Frame
 from ...obs.events import TCP_RETRANSMIT
 from ...obs.metrics import bound_counter
 from ...sim.engine import Engine, Event, Timer
+from ...sim.ids import IdSource
 from ..base import (
     Channel,
     CorruptionKind,
@@ -38,7 +38,7 @@ from ..base import (
 )
 from .params import TcpParams
 
-_conn_gens = itertools.count(1)
+_conn_gens = IdSource("transports.tcp.conn_gens")
 
 
 def next_generation() -> int:
@@ -177,6 +177,19 @@ class TcpEndpoint(Channel):
         self.sndbuf_used += record.wire_bytes
         self._unacked.append(record)
         self._pending_boundaries.append(record)
+        spans = self.engine.spans
+        if spans is not None and msg.trace_id:
+            # Open to close at the receiver's delivery (_deliver_up);
+            # retransmission rewinds bump a counter on the open span.
+            spans.start(
+                msg.trace_id,
+                "tcp.msg",
+                self.engine.now,
+                node=self.local,
+                key=("msg", msg.msg_id),
+                peer=self.peer,
+                msg_type=msg.msg_type,
+            )
         self._pump()
 
         if self.sndbuf_used > self.params.sndbuf_bytes:
@@ -347,6 +360,15 @@ class TcpEndpoint(Channel):
             bus.publish(
                 TCP_RETRANSMIT, node=self.local, peer=self.peer, rto=self._rto
             )
+        spans = self.engine.spans
+        if spans is not None:
+            # Every unacked record is rewound; charge the retransmission
+            # to each traced message still in flight.
+            for record in self._unacked:
+                if record.msg.trace_id:
+                    spans.bump(
+                        spans.find(("msg", record.msg.msg_id)), "retransmits"
+                    )
         self.sent_seq = self.acked_seq
         # The rewound range will be re-segmented: every unacked record's
         # boundary is pending again (``_unacked`` holds exactly the records
@@ -455,6 +477,20 @@ class TcpEndpoint(Channel):
             return
         self.broken = True
         self.break_reason = reason
+        spans = self.engine.spans
+        if spans is not None:
+            # Messages still unacknowledged die with the connection — the
+            # receiver may have assembled some, but this sender can no
+            # longer know; any span the receiver already closed is a
+            # no-op here.
+            for record in self._unacked:
+                if record.msg.trace_id:
+                    spans.end_key(
+                        ("msg", record.msg.msg_id),
+                        self.engine.now,
+                        "broken",
+                        reason=reason,
+                    )
         self._cancel_rto()
         if self._alloc_retry is not None:
             self._alloc_retry.cancel()

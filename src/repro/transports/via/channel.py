@@ -99,10 +99,27 @@ class ViaChannel(Channel):
             # validates at post time and rejects synchronously.
             return transport._handle_corrupted_post(self, msg)
 
+        spans = self.engine.spans
+        if spans is not None and msg.trace_id:
+            # Open to close at the receiver's delivery (_deliver_up) or
+            # right below if the queue sheds it.
+            spans.start(
+                msg.trace_id,
+                "via.msg",
+                self.engine.now,
+                node=self.local,
+                key=("msg", msg.msg_id),
+                peer=self.peer,
+                msg_type=msg.msg_type,
+            )
         self.backlog.append(msg)
         while len(self.backlog) > self.params.app_queue_limit:
-            self.backlog.popleft()
+            dropped = self.backlog.popleft()
             self._messages_shed.inc()
+            if spans is not None and dropped.trace_id:
+                spans.end_key(
+                    ("msg", dropped.msg_id), self.engine.now, "shed"
+                )
             bus = self.engine.bus
             if bus is not None:
                 bus.publish(VIA_QUEUE_SHED, node=self.local, peer=self.peer)
@@ -234,6 +251,18 @@ class ViaChannel(Channel):
             return
         self.broken = True
         self.break_reason = reason
+        spans = self.engine.spans
+        if spans is not None:
+            # Queued messages die with the VI (fail-stop: nothing else
+            # ever touches them).
+            for msg in self.backlog:
+                if msg.trace_id:
+                    spans.end_key(
+                        ("msg", msg.msg_id),
+                        self.engine.now,
+                        "broken",
+                        reason=reason,
+                    )
         self.backlog.clear()
         self.frozen_backlog.clear()
         if self._credit_flush_timer is not None:

@@ -26,6 +26,7 @@ from ...obs.events import VIA_CHANNEL_BROKEN, VIA_DESCRIPTOR_ERROR
 from ...obs.metrics import bound_counter
 from ...osim.node import Node
 from ...sim.engine import Engine
+from ...sim.ids import IdSource
 from ..base import (
     CorruptionKind,
     FatalTransportError,
@@ -38,13 +39,11 @@ from .params import DEFAULT_VIA_PARAMS, ViaParams
 
 _NOTIFY_COST = 3e-6
 
-_gen_counter = 0
+_gen_counter = IdSource("transports.via.gen_counter")
 
 
 def _next_gen() -> int:
-    global _gen_counter
-    _gen_counter += 1
-    return _gen_counter
+    return next(_gen_counter)
 
 
 class ViaRegistrationError(Exception):

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional
 from ..net.fabric import Fabric
 from ..net.nic import Nic
 from ..net.packet import Frame
+from ..obs.events import WORKLOAD_REQUEST_DONE
 from ..obs.metrics import Histogram
 from ..sim.engine import Engine, Timer
 from ..sim.monitor import ThroughputMonitor
@@ -106,6 +107,17 @@ class ClientMachine:
             self.request_timeout, self._on_timeout, req.req_id
         )
         self._pending[req.req_id] = (timer, self.engine.now)
+        spans = self.engine.spans
+        if spans is not None:
+            spans.start(
+                req.req_id,
+                "request",
+                self.engine.now,
+                node=self.client_id,
+                key=("req", req.req_id),
+                file=req.file_id,
+                target=target,
+            )
         self.nic.send(
             Frame(
                 src=self.client_id,
@@ -113,6 +125,7 @@ class ClientMachine:
                 size=300,
                 kind="http-req",
                 payload=req,
+                trace_id=req.req_id,
             )
         )
 
@@ -129,6 +142,7 @@ class ClientMachine:
         self.latency.observe(self.engine.now - issued_at)
         self.monitor.success()
         self.completed += 1
+        self._done(req_id, "ok", self.engine.now - issued_at)
 
     def _on_reject(self, frame: Frame) -> None:
         req_id: int = frame.payload
@@ -137,10 +151,28 @@ class ClientMachine:
             return
         entry[0].cancel()
         self.monitor.failure()
+        self._done(req_id, "reject", self.engine.now - entry[1])
 
     def _on_timeout(self, req_id: int) -> None:
         if self._pending.pop(req_id, None) is not None:
             self.monitor.failure()
+            self._done(req_id, "timeout", self.request_timeout)
+
+    def _done(self, req_id: int, outcome: str, latency: float) -> None:
+        """A request reached its final outcome: close the trace, tell
+        the probes (latency sketches, unavailability attribution)."""
+        spans = self.engine.spans
+        if spans is not None:
+            spans.end_key(("req", req_id), self.engine.now, outcome)
+        bus = self.engine.bus
+        if bus is not None:
+            bus.publish(
+                WORKLOAD_REQUEST_DONE,
+                req_id=req_id,
+                client=self.client_id,
+                outcome=outcome,
+                latency=latency,
+            )
 
     @property
     def outstanding(self) -> int:

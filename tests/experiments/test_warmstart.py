@@ -240,6 +240,35 @@ def test_obtain_always_returns_fresh_objects(tmp_path):
     assert snapshot.state_digest(c1) == snapshot.state_digest(c2)
 
 
+def test_obtain_restores_global_id_counters(tmp_path):
+    """Checkpoints carry the global id-counter positions (repro.sim.ids).
+
+    Regression for the pool-worker divergence of ROADMAP item 3: a
+    process restoring a warm checkpoint used to keep issuing request /
+    message ids from wherever *its own* counters happened to sit.  When
+    that position landed just below the captured in-flight id window,
+    fresh ids collided with ids still pending in the restored state and
+    the continuation diverged from cold.  ``obtain`` must therefore
+    reposition every counter to the captured value, no matter where the
+    restoring process left them.
+    """
+    from repro.sim import ids
+
+    cache = WarmStartCache(WarmSpec(dir=str(tmp_path)))
+    c1, o1, _ = cache.obtain("TCP-PRESS", SETTINGS, False)
+    captured = ids.global_id_state()
+    # Park every counter in the collision zone a dirty pool worker would
+    # occupy: just below the ids embedded in the checkpointed state.
+    for name, value in captured.items():
+        ids._sources[name].jump(max(1, value - 1))
+    c2, o2, _ = cache.obtain("TCP-PRESS", SETTINGS, False)
+    assert ids.global_id_state() == captured
+    assert snapshot.state_digest(c1) == snapshot.state_digest(c2)
+    # The observatory is Snapshottable too: calibration state captured
+    # mid-window survives the round trip bit for bit.
+    assert snapshot.state_digest(o1) == snapshot.state_digest(o2)
+
+
 def test_warm_digest_covers_the_inputs():
     base = warm_digest("TCP-PRESS", SETTINGS, False)
     assert base == warm_digest("TCP-PRESS", SETTINGS, False)

@@ -9,7 +9,11 @@ DOC = Path(__file__).parent.parent.parent / "OBSERVABILITY.md"
 
 
 def _documented_events():
-    rows = re.findall(r"^\| `([a-z_.]+)` \| (.+) \|$", DOC.read_text(), re.M)
+    # Only the "## Event taxonomy" section mirrors events.TAXONOMY; the
+    # doc's other tables (span names, attribution mechanisms) use the
+    # same layout but list different vocabularies.
+    text = DOC.read_text().split("## Event taxonomy", 1)[1].split("\n## ", 1)[0]
+    rows = re.findall(r"^\| `([a-z_.]+)` \| (.+) \|$", text, re.M)
     return {name: desc for name, desc in rows}
 
 
