@@ -253,6 +253,36 @@ def test_cluster_simulation_rate(benchmark):
     assert events > 1000
 
 
+@pytest.mark.parametrize("shards", [1, 4], ids=["shards1", "shards4"])
+def test_lp_cluster_64node(benchmark, shards):
+    """64-node cluster under the single loop vs four logical processes.
+
+    The LP layer exists for clusters too large for one event loop's
+    cache footprint; this pair measures what the conservative merge
+    actually costs (or buys) at that scale.  Results are bit-identical
+    by construction — the equivalence suite enforces that — so the pair
+    is purely a wall-clock comparison.  On a single-core host the
+    sharded run cannot win (there is no parallel hardware to reclaim
+    the merge overhead); the gated claim in BENCH_micro.json therefore
+    bounds the overhead rather than asserting a speedup — see
+    PERFORMANCE.md ("LP sharding").
+    """
+    from repro.press.cluster import SMOKE_SCALE, PressCluster
+    from repro.press.config import VIA_PRESS_5
+
+    def run_cluster():
+        c = PressCluster(
+            VIA_PRESS_5, n_nodes=64, scale=SMOKE_SCALE, seed=1,
+            utilization=0.5, shards=shards,
+        )
+        c.start()
+        c.run_until(15.0)
+        return c.engine.events_processed
+
+    events = benchmark(run_cluster)
+    assert events > 10_000
+
+
 @pytest.mark.parametrize("mode", ["cold", "warm"])
 def test_campaign_warm_vs_cold(benchmark, mode):
     """One warm group (baseline + two faults), cold vs warm-started.

@@ -62,6 +62,8 @@ def _settings(args: argparse.Namespace) -> Phase1Settings:
             seed=args.seed,
             replications=args.replications,
             fastpath=not args.no_fastpath,
+            n_nodes=args.nodes,
+            shards=args.shards,
             repetition=_repetition(args),
         )
     except ValueError as exc:
@@ -381,6 +383,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="reference mode: schedule every per-hop network event "
         "explicitly instead of the coalesced fast path (bit-identical "
         "results, several times slower; see PERFORMANCE.md)",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=4,
+        help="cluster size (the paper's testbed is 4; scaling studies "
+        "use 16/64)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="partition the event engine into N logical processes under "
+        "conservative synchronization (bit-identical results for every "
+        "value; capped at --nodes; see PERFORMANCE.md \"LP sharding\")",
     )
     parser.add_argument(
         "--trace-dir", default=None,

@@ -42,12 +42,14 @@ from .settings import (
 def build_cluster(config: PressConfig, settings: Phase1Settings) -> PressCluster:
     return PressCluster(
         config,
+        n_nodes=settings.n_nodes,
         scale=settings.scale,
         seed=settings.seed,
         utilization=settings.utilization,
         restart_delay=settings.restart_delay,
         reboot_time=settings.reboot_time,
         fastpath=settings.fastpath,
+        shards=settings.shards,
     )
 
 

@@ -134,6 +134,14 @@ class Phase1Settings:
     # ``False`` is the reference mode (`--no-fastpath`) that schedules
     # every per-hop event explicitly.
     fastpath: bool = True
+    # Cluster size.  The paper's testbed is fixed at 4; scaling studies
+    # (ROADMAP item 1) raise this to 16/64.
+    n_nodes: int = 4
+    # Logical-process sharding of the event engine (repro.sim.lp).
+    # Like ``fastpath``, results are bit-identical for every value
+    # (enforced by the equivalence tests); >1 partitions the engine into
+    # per-node-group queues under conservative synchronization.
+    shards: int = 1
     # Replication policy.  ``None`` means "fixed at ``replications``" —
     # the legacy mode; an adaptive :class:`RepetitionPolicy` makes the
     # campaign runner extend each stream until its stopping rule fires.
@@ -145,6 +153,15 @@ class Phase1Settings:
                 f"replications must be a positive integer (got "
                 f"{self.replications!r}); use replications=1 for a "
                 "single run per stream"
+            )
+        if not isinstance(self.n_nodes, int) or self.n_nodes < 2:
+            raise ValueError(
+                f"n_nodes must be an integer >= 2 (got {self.n_nodes!r}); "
+                "PRESS needs at least one peer to forward to"
+            )
+        if not isinstance(self.shards, int) or self.shards < 1:
+            raise ValueError(
+                f"shards must be a positive integer (got {self.shards!r})"
             )
 
     def repetition_policy(self) -> RepetitionPolicy:
@@ -183,6 +200,10 @@ class Phase1Settings:
             # `--no-fastpath` verification run must actually *run*, not
             # hit a cache entry produced by the mode it is checking.
             self.fastpath,
+            self.n_nodes,
+            # Same rationale as fastpath: a `--shards N` verification
+            # run must not be satisfied from another mode's cache.
+            self.shards,
         )
 
     def cache_key(self) -> tuple:

@@ -59,7 +59,14 @@ from typing import Dict, Optional, Tuple, Union
 #:        ``workload.request.done``, and phase-1 runs rewind the global
 #:        id counters at the warm boundary so exported traces embed
 #:        run-deterministic request ids.
-SCHEMA_VERSION = 6
+#:   v7 — cluster scale and LP sharding become settings: the settings
+#:        key gains ``n_nodes`` (cluster size, previously fixed at the
+#:        paper's 4) and ``shards`` (logical-process partitioning of the
+#:        engine, repro.sim.lp).  Payloads are byte-identical for every
+#:        ``shards`` value — it is keyed, like ``fastpath``, only so a
+#:        verification run cannot be satisfied from another mode's
+#:        cache.
+SCHEMA_VERSION = 7
 
 #: Environment variable consulted by the CLI for a default cache dir.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

@@ -1,0 +1,481 @@
+"""Logical-process sharding of the event engine (conservative synchronization).
+
+:class:`ShardedEngine` partitions the single event heap of
+:class:`~repro.sim.engine.Engine` into per-LP (logical process) queues and
+advances them under classic Chandy–Misra–Bryant *conservative*
+synchronization, specialized to a shared-memory setting:
+
+* Every simulated component has an **affinity**: the LP whose queue its
+  events land on.  Affinity is inherited — an event scheduled from inside a
+  callback goes to the callback's LP — and redirected at cross-node
+  boundaries by :meth:`pin` (the fabric pins the destination node's LP
+  around each frame-delivery schedule, so a frame handed to ``node3``
+  continues on ``node3``'s queue).  The directed LP pairs this creates are
+  exactly CMB's channels.
+
+* In a distributed CMB each LP blocks on a channel until a message or a
+  null message raises that channel's clock; the **lookahead** (here the
+  per-link minimum latency, plus the fabric fast path's closed-form frame
+  delivery, which advances channel knowledge all the way to the delivery
+  instant at submit time) bounds how far ahead a null message may promise.
+  In shared memory no LP ever has to *wait*: the scheduler runs the LP
+  whose head event is the global minimum and lets it **burst** — execute
+  events back-to-back from its own queue — for as long as its head stays
+  below a conservative lower bound on every other LP's next event (the
+  LBTS, lower bound on timestamp).  Cross-LP schedules that land below the
+  current bound *lower* it mid-burst; these bound updates are the
+  shared-memory analogue of null messages and are counted as such.  The
+  bound is never raised mid-burst (a cancellation elsewhere can only raise
+  the true minimum, so the bound stays safe), which keeps the burst check
+  one tuple comparison.  Deadlock freedom is structural: picking the
+  global-minimum head needs no channel round trip.
+
+The non-negotiable property is **exact equivalence**: a sharded run
+executes the same events in the same global ``(time, seq)`` order as the
+single-loop engine, assigns the same sequence numbers (scheduling order is
+itself preserved, by induction), and therefore produces byte-identical
+traces, spans, metrics, and store payloads for any shard count.  Sharding
+changes only which heap an entry waits in.  This mirrors the
+``--no-fastpath`` contract: ``--shards N`` is a performance knob that is
+required to be invisible in every observable output.
+
+Statistics (:meth:`lp_stats`) are deliberately kept out of
+``snapshot_state`` and the metrics registry: cell payloads embed both, and
+LP accounting differs across shard counts by design.
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import heapify, heappop, heappush
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from .engine import _COMPACT_MIN, _FREELIST_MAX, Engine, SimulationError, StopSimulation, Timer
+
+#: Sentinel burst bound: no other LP has (or can acquire) an earlier event.
+_INF_KEY = (math.inf, 0)
+
+
+class _LpQueue:
+    """One logical process's event queue: a heap plus an off-heap head slot.
+
+    Mirrors the parent engine's ``_heap``/``_next`` pair so the dominant
+    schedule-then-fire ping-pong stays heap-free *within* each LP.
+    """
+
+    __slots__ = ("lp", "heap", "next")
+
+    def __init__(self, lp: int):
+        self.lp = lp
+        self.heap: list = []  # (time, seq, Timer) tuples
+        self.next: Optional[tuple] = None  # earliest entry, kept off-heap
+
+    def __getstate__(self) -> tuple:
+        return (self.lp, self.heap, self.next)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.lp, self.heap, self.next = state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        depth = len(self.heap) + (1 if self.next is not None else 0)
+        return f"<_LpQueue lp={self.lp} depth={depth}>"
+
+
+class ShardedEngine(Engine):
+    """Engine with per-LP event queues under conservative synchronization.
+
+    Drop-in for :class:`Engine`: the clock, sequence numbers, timer
+    freelist, and live/tombstone accounting are global (shared by all
+    LPs), so ``snapshot_state()`` and every observable output are
+    byte-identical to a single-loop run.  See the module docstring for
+    the synchronization model.
+    """
+
+    def __init__(self, shards: int = 2, start_time: float = 0.0):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        super().__init__(start_time)
+        self.shards = shards
+        self._queues = [_LpQueue(i) for i in range(shards)]
+        #: component name -> LP index (assembly-time partition record).
+        self._shard_map: Dict[str, int] = {}
+        #: LP that call_at/call_after route into (affinity; see pin()).
+        self._cur = 0
+        #: LP currently bursting inside run(), -1 otherwise.
+        self._active = -1
+        #: Conservative lower bound on every *other* LP's next event key
+        #: during a burst; only lowered mid-burst (never raised).
+        self._min_other: Tuple[float, int] = _INF_KEY
+        #: CMB channel clocks: (src_lp, dst_lp) -> highest timestamp ever
+        #: scheduled across that directed pair.
+        self._chan: Dict[Tuple[int, int], float] = {}
+        self._xlp = 0  # cross-LP events scheduled (channel messages)
+        self._null_updates = 0  # mid-burst bound lowerings (null messages)
+        self._bursts = 0  # scheduling rounds (LBTS recomputations)
+
+    # ------------------------------------------------------------------
+    # Partitioning / affinity
+    # ------------------------------------------------------------------
+    def assign_shard(self, name: str, lp: int) -> None:
+        """Record that component ``name`` lives on LP ``lp``."""
+        if not 0 <= lp < self.shards:
+            raise ValueError(f"LP {lp} out of range for {self.shards} shards")
+        self._shard_map[name] = lp
+
+    def shard_of(self, name: str) -> Optional[int]:
+        """LP index of component ``name``, or None if never assigned."""
+        return self._shard_map.get(name)
+
+    @property
+    def shard_map(self) -> Dict[str, int]:
+        return dict(self._shard_map)
+
+    def pin(self, lp: int) -> int:
+        """Route subsequent schedules into LP ``lp``; returns the previous
+        affinity (callers restore it, pin/unpin style).
+
+        This is the cross-LP hand-off point: the fabric pins the
+        destination node's LP around each frame-delivery ``call_at`` so
+        the delivery — and everything the receiver then schedules —
+        continues on the receiver's queue.
+        """
+        prev = self._cur
+        self._cur = lp
+        return prev
+
+    # ------------------------------------------------------------------
+    # Scheduling (routed to the current LP's queue)
+    # ------------------------------------------------------------------
+    def call_at(self, time: float, fn: Callable, *args: Any) -> Timer:
+        """Schedule ``fn(*args)`` at absolute virtual ``time``.
+
+        Identical semantics (and sequence numbering) to the base engine;
+        the entry lands on the current-affinity LP's queue, and a
+        cross-LP schedule during a burst additionally updates the channel
+        clock and may lower the burst bound (the null-message analogue).
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time:.6f} < now={self.now:.6f}"
+            )
+        if time != time:  # NaN (cheaper than math.isnan on the hot path)
+            raise SimulationError("cannot schedule at NaN time")
+        self._seq = seq = self._seq + 1
+        freelist = self._freelist
+        if freelist:
+            timer = freelist.pop()
+            timer.time = time
+            timer.seq = seq
+            timer.fn = fn
+            timer.args = args
+            timer.cancelled = False
+            timer.fired = False
+        else:
+            timer = Timer(time, seq, fn, args, self)
+        entry = (time, seq, timer)
+        q = self._queues[self._cur]
+        nxt = q.next
+        if nxt is None:
+            heap = q.heap
+            if heap and heap[0] < entry:
+                heappush(heap, entry)
+            else:
+                q.next = entry
+        elif entry < nxt:
+            heappush(q.heap, nxt)
+            q.next = entry
+        else:
+            heappush(q.heap, entry)
+        self._live += 1
+        active = self._active
+        if active >= 0 and q.lp != active:
+            chan = self._chan
+            pair = (active, q.lp)
+            prev = chan.get(pair)
+            if prev is None or time > prev:
+                chan[pair] = time
+            self._xlp += 1
+            if (time, seq) < self._min_other:
+                self._min_other = (time, seq)
+                self._null_updates += 1
+        return timer
+
+    def call_after(self, delay: float, fn: Callable, *args: Any) -> Timer:
+        """Schedule ``fn(*args)`` after ``delay`` seconds of virtual time."""
+        # Body duplicated from call_at (same rationale as the base
+        # engine: this is the hottest scheduling entry point).
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        time = self.now + delay
+        if time != time:
+            raise SimulationError("cannot schedule at NaN time")
+        self._seq = seq = self._seq + 1
+        freelist = self._freelist
+        if freelist:
+            timer = freelist.pop()
+            timer.time = time
+            timer.seq = seq
+            timer.fn = fn
+            timer.args = args
+            timer.cancelled = False
+            timer.fired = False
+        else:
+            timer = Timer(time, seq, fn, args, self)
+        entry = (time, seq, timer)
+        q = self._queues[self._cur]
+        nxt = q.next
+        if nxt is None:
+            heap = q.heap
+            if heap and heap[0] < entry:
+                heappush(heap, entry)
+            else:
+                q.next = entry
+        elif entry < nxt:
+            heappush(q.heap, nxt)
+            q.next = entry
+        else:
+            heappush(q.heap, entry)
+        self._live += 1
+        active = self._active
+        if active >= 0 and q.lp != active:
+            chan = self._chan
+            pair = (active, q.lp)
+            prev = chan.get(pair)
+            if prev is None or time > prev:
+                chan[pair] = time
+            self._xlp += 1
+            if (time, seq) < self._min_other:
+                self._min_other = (time, seq)
+                self._null_updates += 1
+        return timer
+
+    # ------------------------------------------------------------------
+    # Tombstone bookkeeping (global count, all-queue compaction)
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        self._live -= 1
+        self._tombstones = tombstones = self._tombstones + 1
+        if tombstones > _COMPACT_MIN and tombstones * 2 > sum(
+            len(q.heap) for q in self._queues
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild every LP heap without tombstones (in place, O(n))."""
+        freelist = self._freelist
+        remaining = 0
+        for q in self._queues:
+            heap = q.heap
+            live = []
+            for entry in heap:
+                timer = entry[2]
+                if timer.cancelled:
+                    if len(freelist) < _FREELIST_MAX:
+                        freelist.append(timer)
+                else:
+                    live.append(entry)
+            heap[:] = live
+            heapify(heap)
+            nxt = q.next
+            if nxt is not None and nxt[2].cancelled:
+                remaining += 1
+        self._tombstones = remaining
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _head(self, q: _LpQueue) -> Optional[tuple]:
+        """Live head entry of ``q`` (left in its slot), or None when empty.
+
+        Tombstones encountered on the way are reclaimed, exactly as the
+        base engine's run/peek loops do.
+        """
+        nxt = q.next
+        heap = q.heap
+        freelist = self._freelist
+        while True:
+            if nxt is None:
+                if not heap:
+                    q.next = None
+                    return None
+                nxt = heappop(heap)
+            timer = nxt[2]
+            if not timer.cancelled:
+                q.next = nxt
+                return nxt
+            self._tombstones -= 1
+            if len(freelist) < _FREELIST_MAX:
+                freelist.append(timer)
+            nxt = None
+
+    def peek(self) -> float:
+        """Time of the next live event across all LPs, or ``inf``."""
+        best = math.inf
+        for q in self._queues:
+            entry = self._head(q)
+            if entry is not None and entry[0] < best:
+                best = entry[0]
+        return best
+
+    def step(self) -> bool:
+        """Run the single globally-next event.  False when all queues are
+        empty.  The callback runs with its LP as the scheduling affinity
+        (no burst, so no channel accounting — stats cover run() only)."""
+        best_q = None
+        best_entry = None
+        for q in self._queues:
+            entry = self._head(q)
+            if entry is not None and (best_entry is None or entry < best_entry):
+                best_q = q
+                best_entry = entry
+        if best_q is None:
+            return False
+        best_q.next = None
+        timer = best_entry[2]
+        self.now = best_entry[0]
+        self._events_processed += 1
+        self._live -= 1
+        timer.fired = True
+        fn = timer.fn
+        args = timer.args
+        timer.fn = None
+        timer.args = ()
+        prev = self._cur
+        self._cur = best_q.lp
+        try:
+            fn(*args)
+        finally:
+            self._cur = prev
+        if not timer.cancelled:
+            self._recycle(timer)
+        return True
+
+    def run(self, until: float = math.inf) -> None:
+        """Run events in global ``(time, seq)`` order until the queues
+        drain or ``until`` is reached.
+
+        Outer loop: scan the LP head keys for the global minimum (the
+        LBTS round).  Inner loop: burst that LP — execute its events
+        back-to-back while its head key stays below the conservative
+        bound on every other LP (initialized to the second-best head key,
+        lowered by cross-LP schedules, never raised).  Semantics match
+        the base engine exactly: same stop conditions, same clock
+        advance, same StopSimulation and live-count handling.
+        """
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        queues = self._queues
+        freelist = self._freelist
+        processed = 0
+        stop = False
+        try:
+            while not stop:
+                best_q = None
+                best_key: Tuple[float, int] = _INF_KEY
+                second_key: Tuple[float, int] = _INF_KEY
+                for q in queues:
+                    entry = self._head(q)
+                    if entry is None:
+                        continue
+                    key = (entry[0], entry[1])
+                    if key < best_key:
+                        second_key = best_key
+                        best_key = key
+                        best_q = q
+                    elif key < second_key:
+                        second_key = key
+                if best_q is None:
+                    break
+                if best_key[0] > until:
+                    break
+                lp = best_q.lp
+                self._active = lp
+                self._min_other = second_key
+                self._bursts += 1
+                while True:
+                    nxt = self._head(best_q)
+                    if nxt is None:
+                        break
+                    time = nxt[0]
+                    # _min_other may have been lowered by a cross-LP
+                    # schedule during this burst; the head is only safe
+                    # to run while it stays strictly below the bound
+                    # (keys are unique, so no tie is possible).
+                    if (time, nxt[1]) >= self._min_other:
+                        break
+                    if time > until:
+                        stop = True
+                        break
+                    best_q.next = None
+                    timer = nxt[2]
+                    self.now = time
+                    processed += 1
+                    timer.fired = True
+                    self._cur = lp
+                    try:
+                        timer.fn(*timer.args)
+                    except StopSimulation:
+                        return
+                    if not timer.cancelled and len(freelist) < _FREELIST_MAX:
+                        freelist.append(timer)
+                self._active = -1
+            if until is not math.inf and until > self.now:
+                self.now = until
+        finally:
+            self._active = -1
+            self._min_other = _INF_KEY
+            self._events_processed += processed
+            self._live -= processed
+            self._running = False
+
+    # ------------------------------------------------------------------
+    # Introspection (kept out of snapshot_state/metrics: LP accounting
+    # differs across shard counts by design, observable state must not)
+    # ------------------------------------------------------------------
+    def lbts(self) -> float:
+        """Lower bound on the timestamp of the next event anywhere.
+
+        In shared memory every in-flight cross-LP message is already a
+        queue entry, so the LBTS is simply the minimum head time — no
+        channel-clock term is needed (the clocks in ``_chan`` are
+        descriptive statistics of past traffic).
+        """
+        return self.peek()
+
+    def lp_stats(self) -> dict:
+        """Synchronization statistics (diagnostics; see PERFORMANCE.md)."""
+        return {
+            "shards": self.shards,
+            "bursts": self._bursts,
+            "cross_lp_events": self._xlp,
+            "null_updates": self._null_updates,
+            "channel_clocks": {
+                f"{src}->{dst}": clock
+                for (src, dst), clock in sorted(self._chan.items())
+            },
+            "queue_depths": [
+                len(q.heap) + (1 if q.next is not None else 0)
+                for q in self._queues
+            ],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ShardedEngine t={self.now:.6f} shards={self.shards} "
+            f"pending={self.pending}>"
+        )
+
+
+def partition_nodes(node_ids: list, shards: int) -> Dict[str, int]:
+    """Contiguous block partition of ``node_ids`` over ``shards`` LPs.
+
+    Node ``i`` of ``n`` goes to LP ``i * shards // n``: blocks differ in
+    size by at most one and the assignment is stable under the node
+    ordering, so a given (n_nodes, shards) pair always produces the same
+    partition.
+    """
+    n = len(node_ids)
+    if n == 0:
+        return {}
+    return {name: i * shards // n for i, name in enumerate(node_ids)}

@@ -71,7 +71,11 @@ from .engine import SimulationError
 #: v2: warm checkpoints carry the global id-counter positions
 #:     (``repro.sim.ids``) alongside the (cluster, observatory) pair, and
 #:     ``Frame`` grew a ``trace_id`` slot for request-scoped tracing.
-FORMAT_VERSION = 2
+#:
+#: v3: the engine may be a :class:`repro.sim.lp.ShardedEngine` (per-LP
+#:     event queues + shard map + channel clocks in the pickled layout),
+#:     and ``Link`` carries its owner's LP affinity.
+FORMAT_VERSION = 3
 
 #: Protocol 4 is the newest protocol supported by every interpreter in
 #: the CI matrix; the digest pins the writer's Python anyway, this just

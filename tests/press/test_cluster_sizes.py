@@ -67,6 +67,46 @@ def test_two_node_cluster_is_disk_bound():
         assert server.cache.hit_ratio() < 0.85  # the coverage deficit
 
 
+@pytest.mark.parametrize("n_nodes", [16, 64])
+def test_large_cluster_smoke(n_nodes):
+    """Cluster scale is a first-class axis: membership, broadcast, and
+    request forwarding must hold up at 16 and 64 nodes, not just the
+    paper's 4.  (Kept short: the point is every path works at scale,
+    not steady-state statistics.)"""
+    cluster = PressCluster(
+        VIA_PRESS_5, n_nodes=n_nodes, scale=SMOKE_SCALE, seed=2,
+        utilization=0.5,
+    )
+    cluster.start()
+    cluster.run_until(25.0)
+    # Every server converged on the full membership (the join/broadcast
+    # paths are O(n) and must still agree).
+    for server in cluster.servers.values():
+        assert len(server.members) == n_nodes
+    assert not cluster.is_partitioned()
+    # Requests flow, and the cooperative forwarding actually spans the
+    # cluster (remote serves prove inter-node request traffic).
+    assert cluster.snapshot_serves() > 0
+    assert sum(s.remote_serves for s in cluster.servers.values()) > 0
+    assert cluster.monitor.availability() > 0.9
+
+
+def test_sixteen_node_crash_detection_and_rejoin():
+    """Failure detection/exclusion/rejoin at a scale where the excluded
+    node is a small fraction of the ring."""
+    cluster = PressCluster(
+        VIA_PRESS_5, n_nodes=16, scale=SMOKE_SCALE, seed=2, utilization=0.5
+    )
+    cluster.start()
+    cluster.mendosus.schedule(
+        FaultSpec(FaultKind.NODE_CRASH, target="node11", at=30.0)
+    )
+    cluster.run_until(200.0)
+    for server in cluster.servers.values():
+        assert len(server.members) == 16
+    assert not cluster.is_partitioned()
+
+
 def test_two_node_cluster_splinter_and_reset():
     cluster = PressCluster(VIA_PRESS_5, n_nodes=2, scale=SMOKE_SCALE, seed=2)
     cluster.start()

@@ -1,0 +1,279 @@
+"""Unit tests of the sharded engine (repro.sim.lp).
+
+The contract under test: :class:`ShardedEngine` is a drop-in
+:class:`Engine` whose only observable difference is introspection —
+execution order, sequence numbering, clock behaviour, StopSimulation,
+cancellation, and snapshot state are exactly those of the single loop,
+for every shard count and every pin pattern.
+"""
+
+import math
+import pickle
+import random
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError, StopSimulation
+from repro.sim.lp import ShardedEngine, partition_nodes
+
+
+def test_shard_count_validation():
+    with pytest.raises(ValueError):
+        ShardedEngine(shards=0)
+    e = ShardedEngine(shards=3)
+    assert e.shards == 3
+
+
+def test_assign_and_shard_of():
+    e = ShardedEngine(shards=2)
+    e.assign_shard("node0", 0)
+    e.assign_shard("node1", 1)
+    assert e.shard_of("node0") == 0
+    assert e.shard_of("node1") == 1
+    assert e.shard_of("ghost") is None
+    assert e.shard_map == {"node0": 0, "node1": 1}
+    with pytest.raises(ValueError):
+        e.assign_shard("node2", 2)  # out of range
+
+
+def test_pin_returns_previous_affinity():
+    e = ShardedEngine(shards=3)
+    assert e.pin(2) == 0
+    assert e.pin(1) == 2
+    assert e.pin(0) == 1
+
+
+def test_plain_engine_semantics_single_shard():
+    """shards=1 behaves exactly like the base engine's public contract."""
+    e = ShardedEngine(shards=1)
+    fired = []
+    e.call_after(1.0, fired.append, "a")
+    e.call_after(1.0, fired.append, "b")
+    e.call_at(0.5, fired.append, "c")
+    e.run()
+    assert fired == ["c", "a", "b"]
+    assert e.now == 1.0
+    assert e.events_processed == 3
+    assert e.pending == 0
+
+
+def test_past_scheduling_rejected():
+    e = ShardedEngine(shards=2)
+    e.call_after(1.0, lambda: None)
+    e.run()
+    with pytest.raises(SimulationError):
+        e.call_at(0.5, lambda: None)
+    with pytest.raises(SimulationError):
+        e.call_after(-1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        e.call_at(math.nan, lambda: None)
+
+
+def test_cross_lp_ordering_same_timestamp():
+    """Ties across LPs break by global scheduling sequence, as in the
+    single loop."""
+    e = ShardedEngine(shards=3)
+    fired = []
+    for i, lp in enumerate([2, 0, 1, 1, 2, 0]):
+        prev = e.pin(lp)
+        e.call_at(1.0, fired.append, i)
+        e.pin(prev)
+    e.run()
+    assert fired == [0, 1, 2, 3, 4, 5]
+
+
+def test_burst_bound_lowered_by_cross_lp_schedule():
+    """An LP bursting ahead must yield when it schedules an earlier
+    event onto another LP (the null-message analogue)."""
+    e = ShardedEngine(shards=2)
+    fired = []
+
+    def lp0_event_one():
+        fired.append("lp0-one")
+        # Schedule onto LP 1 *earlier* than LP 0's own next event.
+        prev = e.pin(1)
+        e.call_at(1.5, fired.append, "lp1-injected")
+        e.pin(prev)
+
+    e.call_at(1.0, lp0_event_one)
+    e.call_at(2.0, fired.append, "lp0-two")
+    e.run()
+    assert fired == ["lp0-one", "lp1-injected", "lp0-two"]
+    stats = e.lp_stats()
+    assert stats["cross_lp_events"] >= 1
+    assert stats["null_updates"] >= 1
+    assert stats["channel_clocks"].get("0->1") == 1.5
+
+
+def test_until_clock_advance_matches_engine():
+    for mk in (Engine, lambda: ShardedEngine(shards=3)):
+        e = mk()
+        e.call_after(1.0, lambda: None)
+        e.run(until=0.25)
+        assert e.now == 0.25
+        assert e.pending == 1
+        e.run(until=5.0)
+        assert e.now == 5.0
+        assert e.pending == 0
+
+
+def test_stop_simulation_halts_mid_burst():
+    e = ShardedEngine(shards=2)
+    fired = []
+
+    def boom():
+        fired.append("boom")
+        raise StopSimulation
+
+    e.call_at(1.0, fired.append, "a")
+    e.call_at(2.0, boom)
+    e.call_at(3.0, fired.append, "never")
+    e.run()
+    assert fired == ["a", "boom"]
+    assert e.now == 2.0
+    assert e.pending == 1  # the t=3 event survives
+
+
+def test_step_and_peek_across_queues():
+    e = ShardedEngine(shards=2)
+    fired = []
+    prev = e.pin(1)
+    e.call_at(1.0, fired.append, "lp1")
+    e.pin(prev)
+    e.call_at(2.0, fired.append, "lp0")
+    assert e.peek() == 1.0
+    assert e.step()
+    assert fired == ["lp1"] and e.now == 1.0
+    assert e.peek() == 2.0
+    assert e.step()
+    assert not e.step()
+    assert fired == ["lp1", "lp0"]
+
+
+def test_step_runs_callback_under_its_lp_affinity():
+    e = ShardedEngine(shards=2)
+    fired = []
+
+    def lp1_event():
+        # This callback lives on LP 1, so its child must land there too.
+        e.call_after(1.0, fired.append, "child")
+
+    prev = e.pin(1)
+    e.call_at(1.0, lp1_event)
+    e.pin(prev)
+    assert e.step()
+    depths = e.lp_stats()["queue_depths"]
+    assert depths == [0, 1]
+    e.run()
+    assert fired == ["child"]
+
+
+def test_cancellation_and_compaction_across_queues():
+    e = ShardedEngine(shards=4)
+    timers = []
+    for i in range(600):
+        prev = e.pin(i % 4)
+        timers.append(e.call_after(float(i % 13) + 1.0, lambda: None))
+        e.pin(prev)
+    for t in timers[::2]:
+        t.cancel()
+    assert e.pending == 300
+    e.run()
+    assert e.events_processed == 300
+    assert e.pending == 0
+    assert e.queued_tombstones == 0
+
+
+def test_snapshot_getstate_roundtrip():
+    e = ShardedEngine(shards=2)
+    e.assign_shard("node0", 0)
+    e.assign_shard("node1", 1)
+    prev = e.pin(1)
+    e.call_after(1.0, min, 1, 2)
+    e.pin(prev)
+    r = pickle.loads(pickle.dumps(e))
+    assert isinstance(r, ShardedEngine)
+    assert r.shards == 2
+    assert r.shard_of("node1") == 1
+    assert r.pending == 1
+    assert r.snapshot_state() == e.snapshot_state()
+    r.run()
+    assert r.now == 1.0 and r.events_processed == 1
+
+
+def test_snapshot_state_matches_plain_engine():
+    """The digest input must be identical to a single-loop engine's —
+    LP bookkeeping must stay out of it."""
+    a, b = Engine(), ShardedEngine(shards=3)
+    for e in (a, b):
+        e.call_after(1.0, lambda: None)
+        e.call_after(2.0, lambda: None)
+        e.run(until=1.5)
+    assert a.snapshot_state() == b.snapshot_state()
+
+
+def test_lbts_is_min_head_time():
+    e = ShardedEngine(shards=2)
+    prev = e.pin(1)
+    e.call_at(3.0, lambda: None)
+    e.pin(prev)
+    e.call_at(7.0, lambda: None)
+    assert e.lbts() == 3.0
+    e.run()
+    assert e.lbts() == math.inf
+
+
+def test_partition_nodes_contiguous_and_balanced():
+    nodes = [f"node{i}" for i in range(10)]
+    part = partition_nodes(nodes, 4)
+    assert set(part.values()) == {0, 1, 2, 3}
+    # Contiguous: LP index is non-decreasing along the node order.
+    lps = [part[n] for n in nodes]
+    assert lps == sorted(lps)
+    # Balanced: block sizes differ by at most one.
+    sizes = [lps.count(lp) for lp in range(4)]
+    assert max(sizes) - min(sizes) <= 1
+    assert partition_nodes([], 4) == {}
+    assert set(partition_nodes(nodes, 1).values()) == {0}
+
+
+def _random_workload(e, pin_lps, seed=42):
+    """Contract-abiding random schedule/cancel workload; returns the
+    execution order plus the engine's terminal accounting."""
+    order = []
+    rng = random.Random(seed)
+    timers = {}
+
+    def act(tag, depth):
+        timers.pop(tag, None)  # fired: drop the handle (lifecycle contract)
+        order.append((e.now, tag))
+        if depth > 5:
+            return
+        for k in range(rng.randrange(0, 3)):
+            delay = rng.choice([0.0, 1e-6, 0.5, 2.0])
+            want_pin = rng.random() < 0.4
+            lp = rng.randrange(8)
+            child = f"{tag}.{k}"
+            if pin_lps and want_pin:
+                prev = e.pin(lp % pin_lps)
+                timers[child] = e.call_after(delay, act, child, depth + 1)
+                e.pin(prev)
+            else:
+                timers[child] = e.call_after(delay, act, child, depth + 1)
+        if rng.random() < 0.3 and timers:
+            key = rng.choice(sorted(timers))
+            timers.pop(key).cancel()
+
+    for i in range(8):
+        e.call_after(i * 0.1, act, f"root{i}", 0)
+    e.run(until=50.0)
+    return order, e._seq, e.events_processed, e.now, e.pending
+
+
+@pytest.mark.parametrize("shards", [1, 2, 3, 7])
+def test_random_workload_equivalence(shards):
+    """Execution order, seq assignment, and terminal accounting match
+    the single loop exactly for any shard count and pin pattern."""
+    reference = _random_workload(Engine(), 0)
+    got = _random_workload(ShardedEngine(shards=shards), shards)
+    assert got == reference

@@ -1,0 +1,150 @@
+"""Sharded runs must be byte-identical to single-loop runs.
+
+This is the LP-sharding analogue of the fastpath equivalence suite: the
+``--shards N`` knob mirrors ``--no-fastpath`` in that every observable
+output — component state digests, monitor series, campaign cell
+payloads, global id streams, warm checkpoints' forward trajectories —
+must be a pure function of (version, settings, seed) and independent of
+the shard count.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.runner import run_campaign
+from repro.experiments.settings import Phase1Settings
+from repro.experiments.store import MemoryStore, payload_fingerprint
+from repro.faults.spec import FaultKind
+from repro.press.cluster import SMOKE_SCALE, PressCluster
+from repro.press.config import ALL_VERSIONS, TCP_PRESS, VIA_PRESS_5
+from repro.sim import ids, snapshot
+from repro.sim.lp import ShardedEngine
+
+
+def _cluster(config, shards, n_nodes=4, seed=3, until=20.0):
+    ids.reset_global_ids()
+    c = PressCluster(
+        config, n_nodes=n_nodes, scale=SMOKE_SCALE, seed=seed, shards=shards
+    )
+    c.start()
+    c.run_until(until)
+    return c
+
+
+def _observables(c, until=20.0):
+    return (
+        snapshot.state_digest(c),
+        c.engine.events_processed,
+        c.engine.snapshot_state(),
+        c.monitor.series(0.0, until),
+        repr(ids.global_id_state()),
+    )
+
+
+@pytest.mark.parametrize("version", ["TCP-PRESS", "VIA-PRESS-5"])
+@pytest.mark.parametrize("shards", [2, 4])
+def test_cluster_observables_shard_invariant(version, shards):
+    config = ALL_VERSIONS[version]
+    reference = _observables(_cluster(config, shards=1))
+    got = _observables(_cluster(config, shards=shards))
+    assert got == reference
+
+
+def test_id_streams_shard_invariant():
+    """Satellite: repro.sim.ids allocation is per-LP deterministic —
+    the id counters advance identically for every shard count, because
+    allocation order equals execution order and execution order is
+    exactly preserved."""
+    states = []
+    for shards in (1, 2, 4):
+        _cluster(TCP_PRESS, shards=shards)
+        states.append(repr(ids.global_id_state()))
+    assert states[0] == states[1] == states[2]
+
+
+def test_sharded_engine_is_actually_sharded():
+    c = _cluster(VIA_PRESS_5, shards=4)
+    assert isinstance(c.engine, ShardedEngine)
+    stats = c.engine.lp_stats()
+    assert stats["shards"] == 4
+    # The partition must really be exercised: multiple LPs burst, and
+    # cross-LP traffic (frame deliveries) flows on the channels.
+    assert stats["bursts"] > 1
+    assert stats["cross_lp_events"] > 0
+    assert stats["channel_clocks"]
+
+
+def test_shards_capped_at_n_nodes():
+    c = PressCluster(TCP_PRESS, n_nodes=4, scale=SMOKE_SCALE, seed=1, shards=64)
+    assert c.shards == 4
+
+
+def test_campaign_fault_cells_shard_invariant():
+    """Full campaign cells — baseline and fault injections, through the
+    runner's warm-start machinery — fingerprint identically."""
+    base = Phase1Settings(
+        scale=SMOKE_SCALE,
+        seed=11,
+        warm=10.0,
+        fault_at=30.0,
+        fault_duration=20.0,
+        post_recovery=20.0,
+        tail=10.0,
+        replications=1,
+    )
+    faults = [FaultKind.LINK_DOWN, FaultKind.NODE_CRASH]
+    results = {}
+    for shards in (1, 3):
+        settings = dataclasses.replace(base, shards=shards)
+        store = MemoryStore()
+        run_campaign(
+            settings,
+            versions=["TCP-PRESS", "VIA-PRESS-5"],
+            faults=faults,
+            store=store,
+            use_cache=True,
+        )
+        results[shards] = {
+            (key.version, key.fault, key.seed, key.rep): payload_fingerprint(
+                payload
+            )
+            for key, payload in store._cells.items()
+        }
+    assert results[1] == results[3]
+    assert len(results[1]) == 6  # 2 versions x (baseline + 2 faults)
+
+
+def test_sharded_cluster_snapshot_round_trip():
+    """Satellite: capture a sharded cluster mid-run, restore, continue —
+    bit-identical to both the uninterrupted sharded run and the
+    single-loop run."""
+    c = _cluster(VIA_PRESS_5, shards=4)
+    blob = snapshot.capture(c)
+    c2 = snapshot.restore(blob)
+    assert isinstance(c2.engine, ShardedEngine)
+    assert c2.engine.shard_map == c.engine.shard_map
+    assert snapshot.state_digest(c2) == snapshot.state_digest(c)
+
+    c.run_until(45.0)
+    c2.run_until(45.0)
+    assert c2.engine.snapshot_state() == c.engine.snapshot_state()
+    assert snapshot.state_digest(c2) == snapshot.state_digest(c)
+    assert c2.monitor.series(0.0, 45.0) == c.monitor.series(0.0, 45.0)
+
+    # The restored sharded continuation must also match a single-loop
+    # cluster that ran 0 -> 45 uninterrupted.
+    single = _cluster(VIA_PRESS_5, shards=1, until=45.0)
+    assert snapshot.state_digest(c2) == snapshot.state_digest(single)
+
+
+def test_restored_sharded_engine_keeps_link_affinity():
+    """Restore must preserve the delivery pinning: links still carry
+    their owner's LP and cross-LP traffic keeps flowing."""
+    c = _cluster(TCP_PRESS, shards=2)
+    c2 = snapshot.restore(snapshot.capture(c))
+    for node_id, link in c2.fabric.links.items():
+        assert link._lp == c2.engine.shard_of(node_id)
+    before = c2.engine.lp_stats()["cross_lp_events"]
+    c2.run_until(30.0)
+    assert c2.engine.lp_stats()["cross_lp_events"] > before
