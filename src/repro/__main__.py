@@ -9,6 +9,9 @@ Usage::
     python -m repro campaign --versions TCP-PRESS VIA-PRESS-5
     python -m repro dashboard .repro-cache
     python -m repro store-diff .cache-a .cache-b
+    python -m repro --profile campaign --versions TCP-PRESS
+    python -m repro perf-report .repro-cache
+    python -m repro perf-compare .cache-a .cache-b
     python -m repro trace-validate traces/
     python -m repro crossover
     python -m repro validate
@@ -261,6 +264,24 @@ def cmd_store_diff(args) -> None:
     print(f"store-diff: {len(a)} cell(s) compared, payloads identical")
 
 
+def cmd_perf_report(args) -> None:
+    from .analysis.perf import perf_report_from_store
+
+    try:
+        print(perf_report_from_store(args.store))
+    except ValueError as exc:
+        sys.exit(f"perf-report: {exc}")
+
+
+def cmd_perf_compare(args) -> None:
+    from .analysis.perf import perf_compare
+
+    text, comparable = perf_compare(args.store_a, args.store_b)
+    print(text)
+    if not comparable:
+        sys.exit("perf-compare: nothing to compare")
+
+
 def cmd_dashboard(args) -> None:
     from .analysis.dashboard import dashboard_from_store
 
@@ -416,6 +437,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep every Nth request trace when collecting spans "
         "(default 1 = every request)",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="attach the wall-clock flight recorder to every campaign "
+        "cell: per-layer self-time, fastpath/heap-churn counters, LP "
+        "shard balance — persisted to the store's perf/ namespace and "
+        "a BENCH_campaign.json ledger (results stay byte-identical; "
+        "read back with perf-report; see OBSERVABILITY.md)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("table1", help="near-peak throughput of the 5 versions")
@@ -441,6 +470,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_diff.add_argument("store_a", help="first campaign cache dir")
     p_diff.add_argument("store_b", help="second campaign cache dir")
+
+    p_perf = sub.add_parser(
+        "perf-report",
+        help="where a profiled campaign's wall-clock went: per-layer "
+        "self-time, fastpath hit rate, heap churn, LP shard balance, "
+        "per-cell breakdown (needs a --profile campaign in the store)",
+    )
+    p_perf.add_argument("store", help="campaign cache dir (a DiskStore)")
+
+    p_pcmp = sub.add_parser(
+        "perf-compare",
+        help="diff the flight-recorder ledgers of two campaign cache "
+        "dirs (non-zero exit when either side has no perf data)",
+    )
+    p_pcmp.add_argument("store_a", help="first profiled cache dir")
+    p_pcmp.add_argument("store_b", help="second profiled cache dir")
 
     p_dash = sub.add_parser(
         "dashboard",
@@ -490,6 +535,7 @@ def _configure_campaign(args) -> None:
         warm_start=not args.no_warm_start,
         spans_dir=args.spans_dir,
         span_sample=args.span_sample,
+        profile=args.profile,
     )
 
 
@@ -502,6 +548,8 @@ def main(argv=None) -> None:
         "timeline": cmd_timeline,
         "campaign": cmd_campaign,
         "store-diff": cmd_store_diff,
+        "perf-report": cmd_perf_report,
+        "perf-compare": cmd_perf_compare,
         "dashboard": cmd_dashboard,
         "trace-validate": cmd_trace_validate,
         "crossover": cmd_crossover,

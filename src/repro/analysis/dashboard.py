@@ -22,7 +22,11 @@ Sections:
   requests per (version, fault), from the per-cell latency sketches;
 * **attribution** — the per-mechanism availability-cost table: which
   mechanism (fail-fast, retransmit stall, reconfiguration window, cache
-  warmup, operator reset) each lost or SLO-slow request is charged to.
+  warmup, operator reset) each lost or SLO-slow request is charged to;
+* **performance** — the wall-clock flight recorder's view of the
+  *simulator* (``--profile`` campaigns only): per-layer self-time,
+  fastpath hit rate, heap churn, and LP shard balance from the store's
+  volatile ``perf/`` namespace and ``BENCH_campaign.json`` ledger.
 """
 
 from __future__ import annotations
@@ -549,11 +553,134 @@ def _attribution_section(cells: List[_Cell]) -> List[str]:
     return out
 
 
+def _performance_section(
+    perf: Iterable[Tuple[dict, dict]], ledger: Optional[dict]
+) -> List[str]:
+    """Flight-recorder rollup (``--profile`` campaigns only)."""
+    from .perf import aggregate_perf
+
+    rows = []
+    for key, record in perf:
+        if not isinstance(record, dict):
+            continue
+        merged = dict(record)
+        for field in ("version", "fault", "rep", "seed"):
+            merged.setdefault(field, (key or {}).get(field))
+        rows.append(merged)
+    if not rows and not ledger:
+        return [
+            "<p class='cellnote'>no flight-recorder data stored (run the "
+            "campaign with --profile to collect wall-clock profiles)</p>"
+        ]
+    agg = aggregate_perf(rows)
+    out: List[str] = []
+    if ledger:
+        timing = ledger.get("timing") or {}
+        out.append(
+            f"<p>wall-clock {_fmt(ledger.get('wall_clock_s'), 2)}s on "
+            f"{ledger.get('jobs', '?')} job(s): execute "
+            f"{_fmt(timing.get('execute_s'), 2)}s, warm-restore "
+            f"{_fmt(timing.get('restore_s'), 2)}s "
+            f"(speedup {_fmt(timing.get('speedup'), 2)}x, parallelism "
+            f"{_fmt(timing.get('parallelism'), 2)}x).</p>"
+        )
+    totals = agg["totals"]
+    if not rows and ledger:
+        profile = ledger.get("profile") or {}
+        agg = {
+            "totals": dict(
+                totals,
+                events=int(profile.get("events") or 0),
+                self_s=float(profile.get("self_s") or 0.0),
+            ),
+            "layers": profile.get("layers") or {},
+            "counters": profile.get("counters") or {},
+            "engine": profile.get("engine") or {},
+            "lp": profile.get("lp"),
+            "cells": ledger.get("top_cells") or [],
+        }
+        totals = agg["totals"]
+    if agg["layers"]:
+        total_s = float(totals.get("self_s") or 0.0)
+        out.append(
+            "<table><tr><th class='label'>layer</th><th>events</th>"
+            "<th>self-time (s)</th><th>share %</th></tr>"
+        )
+        ordered = sorted(
+            agg["layers"].items(),
+            key=lambda kv: (-float(kv[1].get("self_s") or 0.0), kv[0]),
+        )
+        for layer, stats in ordered:
+            self_s = float(stats.get("self_s") or 0.0)
+            share = f"{100.0 * self_s / total_s:.1f}" if total_s else "—"
+            out.append(
+                f"<tr><td class='label'>{escape(layer)}</td>"
+                f"<td>{int(stats.get('events') or 0)}</td>"
+                f"<td>{self_s:.4f}</td><td>{share}</td></tr>"
+            )
+        out.append("</table>")
+    counters = agg["counters"]
+    fast = counters.get("fabric.fast_cached", 0) + counters.get(
+        "fabric.fast_checked", 0
+    )
+    slow = counters.get("fabric.slow", 0)
+    if fast or slow:
+        rate = f"{100.0 * fast / (fast + slow):.1f}%" if fast + slow else "—"
+        out.append(
+            f"<p>fabric fastpath: {fast} fast sends, {slow} slow "
+            f"(hit rate {rate}); "
+            f"{counters.get('fabric.fast_train', 0)} train frames.</p>"
+        )
+    eng = agg["engine"]
+    if eng and any(eng.values()):
+        out.append(
+            f"<p>engine: {eng.get('events_processed', 0)} events "
+            f"processed, {eng.get('timer_allocs', 0)} timer allocations, "
+            f"{eng.get('freelist_reuse', 0)} freelist reuses, "
+            f"{eng.get('compactions', 0)} heap compaction(s).</p>"
+        )
+    lp = agg["lp"]
+    if lp and lp.get("shards"):
+        events = lp.get("lp_events") or []
+        per = ", ".join(f"lp{i}: {n}" for i, n in enumerate(events))
+        out.append(
+            f"<p>LP shards: {lp['shards']} — load imbalance "
+            f"{_fmt(lp.get('imbalance'), 2)}x ideal "
+            f"({escape(per)}); {lp.get('nulls_sent', 0)} null messages "
+            f"sent, {lp.get('nulls_received', 0)} received, "
+            f"merge-loop idle {_fmt(lp.get('merge_idle_s'), 4)}s.</p>"
+        )
+    if agg["cells"]:
+        out.append(
+            "<table><tr><th class='label'>cell</th><th>execute (s)</th>"
+            "<th>restore (s)</th><th>serialize (s)</th>"
+            "<th>snapshot (s)</th><th>events</th></tr>"
+        )
+        for c in agg["cells"][:15]:
+            out.append(
+                f"<tr><td class='label'>{escape(str(c.get('cell')))}</td>"
+                f"<td>{_fmt(c.get('execute_s'), 3)}</td>"
+                f"<td>{_fmt(c.get('restore_s'), 3)}</td>"
+                f"<td>{_fmt(c.get('serialize_s'), 3)}</td>"
+                f"<td>{_fmt(c.get('snapshot_s'), 3)}</td>"
+                f"<td>{int(c.get('events') or 0)}</td></tr>"
+            )
+        out.append("</table>")
+    if not out:
+        out.append(
+            "<p class='cellnote'>flight-recorder records are present but "
+            "empty (stale perf schema?)</p>"
+        )
+    return out
+
+
 def render_dashboard(
     cells: Iterable[Tuple[dict, dict]],
     title: str = "PRESS performability campaign",
     source: str = "",
     summaries: Iterable[Tuple[dict, dict]] = (),
+    perf: Iterable[Tuple[dict, dict]] = (),
+    ledger: Optional[dict] = None,
 ) -> str:
     """Render the raw ``(key, payload)`` rows into one HTML document."""
     kept, stale = _collect(cells)
@@ -599,6 +726,10 @@ def render_dashboard(
         "<h2>unavailability attribution</h2>",
         *_attribution_section(kept),
     ]
+    body += [
+        "<h2>performance (flight recorder)</h2>",
+        *_performance_section(perf, ledger),
+    ]
     return (
         "<!DOCTYPE html><html><head><meta charset='utf-8'>"
         f"<title>{escape(title)}</title><style>{_CSS}</style></head>"
@@ -614,6 +745,7 @@ def dashboard_from_store(cache_dir, out_path=None) -> Path:
     holds no readable cells.
     """
     from ..experiments.store import DiskStore
+    from .perf import load_ledger
 
     cache_dir = Path(cache_dir)
     if not cache_dir.is_dir():
@@ -623,7 +755,11 @@ def dashboard_from_store(cache_dir, out_path=None) -> Path:
     if not rows:
         raise ValueError(f"{cache_dir}: no campaign cells found")
     html_text = render_dashboard(
-        rows, source=str(cache_dir), summaries=list(store.iter_summaries())
+        rows,
+        source=str(cache_dir),
+        summaries=list(store.iter_summaries()),
+        perf=list(store.iter_perf()),
+        ledger=load_ledger(cache_dir),
     )
     out = Path(out_path) if out_path else cache_dir / "dashboard.html"
     out.parent.mkdir(parents=True, exist_ok=True)

@@ -161,8 +161,13 @@ def repetition_report(report) -> str:
 def campaign_timing_report(report) -> str:
     """Where a campaign's wall-clock went (a ``CampaignReport``).
 
-    Shows the executed/cached split, aggregate cell time vs. wall time,
-    and per-version / per-fault breakdowns of simulation cost.
+    Shows the executed/cached split, aggregate cell time vs. wall time
+    — split into pure simulation (execute) and warm-checkpoint restore
+    columns, with a ratio for each: ``speedup`` counts everything the
+    cells spent, ``parallelism`` only the simulation work, so a
+    campaign whose wall-clock went to unpickling checkpoints cannot
+    masquerade as well-parallelized — and per-version / per-fault
+    breakdowns of simulation cost.
     """
     total = len(report.cells)
     lines = [
@@ -170,8 +175,10 @@ def campaign_timing_report(report) -> str:
         f"({report.executed} executed, {report.cached} from cache)"
         f" on {report.jobs} job{'s' if report.jobs != 1 else ''}",
         f"wall-clock {report.wall_clock:.2f}s,"
-        f" simulation {report.cell_seconds:.2f}s"
-        f" ({report.speedup:.2f}x aggregate)",
+        f" execute {report.execute_seconds:.2f}s"
+        f" + warm-restore {report.restore_seconds:.2f}s"
+        f" ({report.speedup:.2f}x aggregate,"
+        f" {report.parallelism:.2f}x execute-only)",
     ]
     by_version = {
         k: v for k, v in report.by_version().items() if v > 0

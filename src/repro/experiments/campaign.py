@@ -34,6 +34,7 @@ _default_trace_format: str = "both"
 _default_warm_start: bool = True
 _default_spans_dir: Optional[str] = None
 _default_span_sample: int = 1
+_default_profile: bool = False
 
 
 def configure(
@@ -44,12 +45,13 @@ def configure(
     warm_start: Optional[bool] = None,
     spans_dir: Optional[str] = None,
     span_sample: Optional[int] = None,
+    profile: Optional[bool] = None,
 ) -> None:
     """Set the store/parallelism/tracing every campaign uses unless
     overridden."""
     global _default_store, _default_jobs, _default_trace_dir
     global _default_trace_format, _default_warm_start
-    global _default_spans_dir, _default_span_sample
+    global _default_spans_dir, _default_span_sample, _default_profile
     if store is not None:
         _default_store = store
     if jobs is not None:
@@ -64,6 +66,8 @@ def configure(
         _default_spans_dir = str(spans_dir)
     if span_sample is not None:
         _default_span_sample = max(1, int(span_sample))
+    if profile is not None:
+        _default_profile = bool(profile)
 
 
 def default_store() -> ResultStore:
@@ -95,6 +99,7 @@ def measure_profile_set(
         warm_start=_default_warm_start,
         spans_dir=_default_spans_dir,
         span_sample=_default_span_sample,
+        profile=_default_profile,
     )
     return sets[version]
 
@@ -136,6 +141,7 @@ def full_campaign_with_report(
         warm_start=_default_warm_start,
         spans_dir=_default_spans_dir,
         span_sample=_default_span_sample,
+        profile=_default_profile,
     )
 
 

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import json
 import tempfile
 import time
 from dataclasses import dataclass, field
@@ -156,6 +157,42 @@ def _make_spans(spans: Optional[tuple]):
     return SpanCollector(sample_every=spans[2])
 
 
+def _make_profiler(profile: bool):
+    """A fresh :class:`~repro.obs.profiler.FlightRecorder`, or None."""
+    if not profile:
+        return None
+    from ..obs.profiler import FlightRecorder
+
+    return FlightRecorder()
+
+
+def _perf_record(
+    recorder, cluster, payload: dict, restore_s: float, execute_s: float,
+    warm_prov: dict,
+) -> dict:
+    """One cell's wall-clock breakdown + flight-recorder digest.
+
+    Built *after* the payload so the store-serialize cost can be
+    measured on the exact bytes the store will write; the record itself
+    never enters the payload the runner persists (it is popped into the
+    store's volatile ``perf/`` namespace).
+    """
+    ser0 = time.perf_counter()
+    json.dumps(payload)
+    serialize_s = time.perf_counter() - ser0
+    return {
+        "restore_s": restore_s,
+        "execute_s": execute_s,
+        "serialize_s": serialize_s,
+        # Warm-segment simulate+capture cost, paid by the group's first
+        # cell on a checkpoint miss (0.0 on hits and cold cells).
+        "snapshot_s": float(warm_prov.get("capture_s") or 0.0),
+        "elapsed_s": float(payload.get("elapsed", 0.0)),
+        "warm_status": warm_prov.get("status"),
+        "profile": recorder.digest(cluster.engine),
+    }
+
+
 def _baseline_cell(
     version: str,
     settings: Phase1Settings,
@@ -163,6 +200,7 @@ def _baseline_cell(
     trace: Optional[tuple] = None,
     spans: Optional[tuple] = None,
     warm: Optional[WarmSpec] = None,
+    profile: bool = False,
 ) -> dict:
     from ..obs.exporters import telemetry_summary
     from .phase1 import run_baseline
@@ -172,14 +210,19 @@ def _baseline_cell(
     cluster, obs, warm_prov = _start_cell(
         version, cell_settings, trace is not None, warm
     )
+    restore_s = time.perf_counter() - start
     collector = _make_spans(spans)
+    recorder = _make_profiler(profile)
+    run_at = time.perf_counter()
     tn, cluster = run_baseline(
         ALL_VERSIONS_EXTENDED[version],
         cell_settings,
         recorder=None if cluster is not None else obs,
         warm_cluster=cluster,
         spans=collector,
+        profiler=recorder,
     )
+    execute_s = time.perf_counter() - run_at
     obs.finish(cluster)
     _export_cell_spans(
         collector, spans, cluster, version=version, fault=None, seed=seed
@@ -189,6 +232,7 @@ def _baseline_cell(
         "kind": "baseline",
         "tn": tn,
         "elapsed": time.perf_counter() - start,
+        "restore_elapsed": restore_s,
         "warm_start": warm_prov,
         "telemetry": telemetry_summary(
             obs.recorder, cluster.metrics, bus=cluster.bus
@@ -204,6 +248,10 @@ def _baseline_cell(
             tn,
         ),
     }
+    if recorder is not None:
+        payload["perf"] = _perf_record(
+            recorder, cluster, payload, restore_s, execute_s, warm_prov
+        )
     _export_cell_trace(
         obs.recorder, trace, version=version, fault=None, seed=seed
     )
@@ -218,6 +266,7 @@ def _fault_cell(
     trace: Optional[tuple] = None,
     spans: Optional[tuple] = None,
     warm: Optional[WarmSpec] = None,
+    profile: bool = False,
 ) -> dict:
     from ..core.divergence import divergence_report
     from ..core.extract import extract_profile
@@ -230,7 +279,10 @@ def _fault_cell(
     cluster, obs, warm_prov = _start_cell(
         version, cell_settings, trace is not None, warm
     )
+    restore_s = time.perf_counter() - start
     collector = _make_spans(spans)
+    recorder = _make_profiler(profile)
+    run_at = time.perf_counter()
     # The cell measures its *own* pre-injection throughput as Tn.  The
     # extraction thresholds (impact/recovery, a few percent of Tn) need
     # Tn correlated with the run they judge; with per-group seeds that
@@ -244,18 +296,21 @@ def _fault_cell(
         recorder=None if cluster is not None else obs,
         warm_cluster=cluster,
         spans=collector,
+        profiler=recorder,
     )
+    execute_s = time.perf_counter() - run_at
     obs.finish(cluster)
     _export_cell_spans(
         collector, spans, cluster, version=version, fault=fault_value, seed=seed
     )
-    profile = extract_profile(
+    fitted = extract_profile(
         record, mttr=FAULT_MTTR[kind], env=settings.environment
     )
     payload = {
         "kind": "profile",
-        "profile": profile.to_dict(),
+        "profile": fitted.to_dict(),
         "elapsed": time.perf_counter() - start,
+        "restore_elapsed": restore_s,
         "warm_start": warm_prov,
         "telemetry": telemetry_summary(
             obs.recorder, cluster.metrics, bus=cluster.bus
@@ -271,6 +326,10 @@ def _fault_cell(
             record.normal_throughput,
         ),
     }
+    if recorder is not None:
+        payload["perf"] = _perf_record(
+            recorder, cluster, payload, restore_s, execute_s, warm_prov
+        )
     _export_cell_trace(
         obs.recorder, trace, version=version, fault=fault_value, seed=seed
     )
@@ -344,6 +403,9 @@ class CellRecord:
     seed: int
     elapsed: float  # simulation wall-clock (0.0 for cache hits)
     cached: bool
+    #: wall-clock spent restoring the warm checkpoint (contained in
+    #: ``elapsed``; 0.0 for cache hits and pre-flight-recorder payloads)
+    restore_s: float = 0.0
     #: per-cell run telemetry (event counts + metrics snapshot); None
     #: for cells loaded from a pre-telemetry (schema v1) payload
     telemetry: Optional[dict] = None
@@ -419,6 +481,10 @@ class CampaignReport:
     #: (a rep every stream of the version ran) — the samples the CI
     #: bands on AT/AA/P are computed from
     replicates: Dict[str, List[ProfileSet]] = field(default_factory=dict)
+    #: per-cell flight-recorder records (profiled campaigns only): the
+    #: cell identity plus the wall-clock breakdown and profiler digest
+    #: that also land in the store's volatile ``perf/`` namespace
+    perf: List[dict] = field(default_factory=list)
 
     @property
     def reps_spent(self) -> int:
@@ -449,11 +515,39 @@ class CampaignReport:
         return sum(c.elapsed for c in self.cells)
 
     @property
+    def restore_seconds(self) -> float:
+        """Warm-checkpoint restore time contained in :attr:`cell_seconds`."""
+        return sum(c.restore_s for c in self.cells)
+
+    @property
+    def execute_seconds(self) -> float:
+        """Pure simulation time: :attr:`cell_seconds` minus restores.
+
+        A warm hit's restore is real wall-clock but not simulation work;
+        folding it into the execute column overstated how much the pool
+        parallelized (the historical ``speedup`` did exactly that, which
+        is why both columns are reported now).
+        """
+        return self.cell_seconds - self.restore_seconds
+
+    @property
     def speedup(self) -> float:
         """Aggregate cell time over wall time (1.0 = serial, no cache)."""
         if self.wall_clock <= 0:
             return 1.0
         return self.cell_seconds / self.wall_clock
+
+    @property
+    def parallelism(self) -> float:
+        """Execute-only time over wall time: the honest pool ratio.
+
+        Unlike :attr:`speedup` this excludes warm-restore cost, so a
+        campaign that spent its wall-clock unpickling checkpoints cannot
+        masquerade as well-parallelized simulation.
+        """
+        if self.wall_clock <= 0:
+            return 1.0
+        return self.execute_seconds / self.wall_clock
 
     def by_version(self) -> Dict[str, float]:
         out: Dict[str, float] = {}
@@ -525,6 +619,7 @@ class CampaignRunner:
         spans_dir: Optional[str] = None,
         span_sample: int = 1,
         warm_start: bool = True,
+        profile: bool = False,
     ):
         self.settings = settings
         self.store = store if store is not None else MemoryStore()
@@ -535,6 +630,11 @@ class CampaignRunner:
         self.trace_format = trace_format
         self.spans_dir = str(spans_dir) if spans_dir is not None else None
         self.span_sample = max(1, int(span_sample))
+        #: attach a wall-clock flight recorder to every executed cell.
+        #: Deliberately NOT part of the settings key: profiling observes
+        #: only host time, so profiled and unprofiled campaigns share one
+        #: cache universe and byte-identical payloads.
+        self.profile = bool(profile)
         #: run-scoped warm-checkpoint spool (in-memory parallel runs)
         self._spool = None
         self.warm_start = warm_start
@@ -596,6 +696,9 @@ class CampaignRunner:
             seed=cell.seed,
             elapsed=0.0 if cached else float(payload.get("elapsed", 0.0)),
             cached=cached,
+            restore_s=0.0
+            if cached
+            else float(payload.get("restore_elapsed", 0.0)),
             telemetry=payload.get("telemetry"),
             observatory=payload.get("observatory"),
             warm=None
@@ -635,6 +738,23 @@ class CampaignRunner:
             if pool is not None:
                 pool.shutdown()
         for cell, payload in results.items():
+            # The flight-recorder record travels back on the payload but
+            # never *in* it: it is volatile wall-clock, so it is stripped
+            # into the store's perf/ namespace before the payload is
+            # persisted or fingerprinted.
+            perf = payload.pop("perf", None)
+            if perf is not None:
+                report.perf.append(
+                    {
+                        "version": cell.version,
+                        "fault": cell.fault,
+                        "rep": cell.rep,
+                        "seed": cell.seed,
+                        **perf,
+                    }
+                )
+                if self.use_cache:
+                    self.store.put_perf(cell.key(self._settings_key), perf)
             if self.use_cache:
                 self.store.put(cell.key(self._settings_key), payload)
             self._record(report, cell, payload, cached=False)
@@ -802,7 +922,10 @@ class CampaignRunner:
             if warm_spec is not None:
                 self._warm_wave(misses, warm_spec)
             executed = self._execute_wave(
-                [(cell, args + (warm_spec,)) for cell, args in misses],
+                [
+                    (cell, args + (warm_spec, self.profile))
+                    for cell, args in misses
+                ],
                 report,
             )
             payloads.update(executed)
@@ -1030,7 +1153,38 @@ class CampaignRunner:
                 "(bus.subscriber_errors)"
             )
         report.wall_clock = time.perf_counter() - started
+        if self.profile:
+            self._write_ledger(report)
         return out, report
+
+    def _write_ledger(self, report: CampaignReport) -> None:
+        """Consolidate the run's perf records into ``BENCH_campaign.json``.
+
+        Only disk-backed campaigns persist the ledger (it sits beside the
+        store's namespaces, where ``perf-compare`` finds it); either way
+        the report carries a one-line pointer so a profiled run is never
+        silent about where its measurements went.
+        """
+        from ..analysis.perf import campaign_ledger
+
+        ledger = campaign_ledger(report, settings=self.settings)
+        if isinstance(self.store, DiskStore):
+            path = self.store.cache_dir / "BENCH_campaign.json"
+            path.write_text(
+                json.dumps(ledger, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            report.notices.append(
+                f"flight recorder: {len(report.perf)} cell record(s) in "
+                f"perf/, campaign ledger at {path} — "
+                "read with `python -m repro perf-report`"
+            )
+        else:
+            report.notices.append(
+                f"flight recorder: {len(report.perf)} cell record(s) "
+                "profiled (in-memory store; use --cache-dir to persist "
+                "a campaign ledger)"
+            )
 
 
 def run_campaign(
@@ -1046,6 +1200,7 @@ def run_campaign(
     spans_dir: Optional[str] = None,
     span_sample: int = 1,
     warm_start: bool = True,
+    profile: bool = False,
 ) -> Tuple[Dict[str, ProfileSet], CampaignReport]:
     """One-shot convenience wrapper around :class:`CampaignRunner`."""
     runner = CampaignRunner(
@@ -1059,5 +1214,6 @@ def run_campaign(
         spans_dir=spans_dir,
         span_sample=span_sample,
         warm_start=warm_start,
+        profile=profile,
     )
     return runner.run(versions, faults)

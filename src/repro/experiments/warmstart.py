@@ -191,9 +191,12 @@ class WarmStartCache:
         """
         digest = warm_digest(version, settings, keep_events)
         blob, status = self._load(digest)
+        capture_s = 0.0
         if blob is None:
+            start = time.perf_counter()
             blob = self._capture(version, settings, keep_events)
             self._store(digest, blob)
+            capture_s = time.perf_counter() - start
         cluster, obs, id_state = snapshot.restore(blob)
         # Continue process-global id streams (request ids, message ids,
         # connection generations) exactly where the captured run stood.
@@ -206,6 +209,11 @@ class WarmStartCache:
             "status": status,  # hit, miss, or invalidated at lookup time
             "digest": digest[:16],
             "bytes": len(blob),
+            # Wall-clock spent simulating+capturing the warm segment on a
+            # miss (0.0 on a hit); feeds the flight recorder's per-cell
+            # snapshot column.  Lives under the volatile "warm_start"
+            # payload key, so determinism checks never see it.
+            "capture_s": capture_s,
         }
         return cluster, obs, provenance
 

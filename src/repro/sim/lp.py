@@ -112,6 +112,16 @@ class ShardedEngine(Engine):
         self._xlp = 0  # cross-LP events scheduled (channel messages)
         self._null_updates = 0  # mid-burst bound lowerings (null messages)
         self._bursts = 0  # scheduling rounds (LBTS recomputations)
+        # Flight-recorder accounting.  The first three are deterministic
+        # (pure functions of the event stream, updated per *burst*, so
+        # the unprofiled loop pays a few integer ops per LBTS round);
+        # the wall-clock accumulators below them are only advanced by
+        # the profiled loop and are zeroed out of snapshots.
+        self._lp_exec = [0] * shards  # events executed, per LP
+        self._eot_advances = 0  # rounds where the global min time rose
+        self._eot_time = -math.inf
+        self._merge_s = 0.0  # outer-scan (merge/LBTS) wall-clock
+        self._exec_s = [0.0] * shards  # burst wall-clock, per LP
 
     # ------------------------------------------------------------------
     # Partitioning / affinity
@@ -172,6 +182,7 @@ class ShardedEngine(Engine):
             timer.fired = False
         else:
             timer = Timer(time, seq, fn, args, self)
+            self._timer_allocs += 1
         entry = (time, seq, timer)
         q = self._queues[self._cur]
         nxt = q.next
@@ -221,6 +232,7 @@ class ShardedEngine(Engine):
             timer.fired = False
         else:
             timer = Timer(time, seq, fn, args, self)
+            self._timer_allocs += 1
         entry = (time, seq, timer)
         q = self._queues[self._cur]
         nxt = q.next
@@ -262,6 +274,7 @@ class ShardedEngine(Engine):
 
     def _compact(self) -> None:
         """Rebuild every LP heap without tombstones (in place, O(n))."""
+        self._compactions += 1
         freelist = self._freelist
         remaining = 0
         for q in self._queues:
@@ -362,6 +375,8 @@ class ShardedEngine(Engine):
         the base engine exactly: same stop conditions, same clock
         advance, same StopSimulation and live-count handling.
         """
+        if self.profiler is not None:
+            return self._run_profiled(until)
         if self._running:
             raise SimulationError("engine is not reentrant")
         self._running = True
@@ -393,6 +408,10 @@ class ShardedEngine(Engine):
                 self._active = lp
                 self._min_other = second_key
                 self._bursts += 1
+                if best_key[0] > self._eot_time:
+                    self._eot_time = best_key[0]
+                    self._eot_advances += 1
+                burst_start = processed
                 while True:
                     nxt = self._head(best_q)
                     if nxt is None:
@@ -419,6 +438,7 @@ class ShardedEngine(Engine):
                         return
                     if not timer.cancelled and len(freelist) < _FREELIST_MAX:
                         freelist.append(timer)
+                self._lp_exec[lp] += processed - burst_start
                 self._active = -1
             if until is not math.inf and until > self.now:
                 self.now = until
@@ -428,6 +448,115 @@ class ShardedEngine(Engine):
             self._events_processed += processed
             self._live -= processed
             self._running = False
+
+    def _run_profiled(self, until: float = math.inf) -> None:
+        """Flight-recorder variant of :meth:`run` (``profiler`` attached).
+
+        Same event order, recycling, and accounting as the unprofiled
+        loop, plus wall-clock attribution: per-callback self-time to the
+        recorder, outer-scan (merge) time to ``_merge_s`` and per-LP
+        burst time to ``_exec_s`` — the serial-backend overhead split
+        that ROADMAP item 4's parallel-backend decision needs.
+        """
+        from repro.obs.profiler import perf_counter
+
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        queues = self._queues
+        freelist = self._freelist
+        record = self.profiler.record
+        processed = 0
+        stop = False
+        merge_s = 0.0
+        exec_s = [0.0] * self.shards
+        try:
+            while not stop:
+                scan0 = perf_counter()
+                best_q = None
+                best_key: Tuple[float, int] = _INF_KEY
+                second_key: Tuple[float, int] = _INF_KEY
+                for q in queues:
+                    entry = self._head(q)
+                    if entry is None:
+                        continue
+                    key = (entry[0], entry[1])
+                    if key < best_key:
+                        second_key = best_key
+                        best_key = key
+                        best_q = q
+                    elif key < second_key:
+                        second_key = key
+                merge_s += perf_counter() - scan0
+                if best_q is None:
+                    break
+                if best_key[0] > until:
+                    break
+                lp = best_q.lp
+                self._active = lp
+                self._min_other = second_key
+                self._bursts += 1
+                if best_key[0] > self._eot_time:
+                    self._eot_time = best_key[0]
+                    self._eot_advances += 1
+                burst_start = processed
+                burst0 = perf_counter()
+                while True:
+                    nxt = self._head(best_q)
+                    if nxt is None:
+                        break
+                    time = nxt[0]
+                    if (time, nxt[1]) >= self._min_other:
+                        break
+                    if time > until:
+                        stop = True
+                        break
+                    best_q.next = None
+                    timer = nxt[2]
+                    self.now = time
+                    processed += 1
+                    timer.fired = True
+                    self._cur = lp
+                    fn = timer.fn
+                    args = timer.args
+                    start = perf_counter()
+                    try:
+                        fn(*args)
+                    except StopSimulation:
+                        record(fn, perf_counter() - start)
+                        return
+                    record(fn, perf_counter() - start)
+                    if not timer.cancelled and len(freelist) < _FREELIST_MAX:
+                        freelist.append(timer)
+                exec_s[lp] += perf_counter() - burst0
+                self._lp_exec[lp] += processed - burst_start
+                self._active = -1
+            if until is not math.inf and until > self.now:
+                self.now = until
+        finally:
+            self._active = -1
+            self._min_other = _INF_KEY
+            self._events_processed += processed
+            self._live -= processed
+            self._running = False
+            self._merge_s += merge_s
+            for i, s in enumerate(exec_s):
+                self._exec_s[i] += s
+
+    # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Zero the wall-clock accumulators out of checkpoints.
+
+        They are host noise, not simulation state: a warm blob captured
+        by a profiled run must be indistinguishable from one captured by
+        an unprofiled run.
+        """
+        state = super().__getstate__()
+        state["_merge_s"] = 0.0
+        state["_exec_s"] = [0.0] * self.shards
+        return state
 
     # ------------------------------------------------------------------
     # Introspection (kept out of snapshot_state/metrics: LP accounting
@@ -444,12 +573,33 @@ class ShardedEngine(Engine):
         return self.peek()
 
     def lp_stats(self) -> dict:
-        """Synchronization statistics (diagnostics; see PERFORMANCE.md)."""
+        """Synchronization statistics (diagnostics; see PERFORMANCE.md).
+
+        ``nulls_sent``/``nulls_received`` name the CMB view of the
+        shared-memory analogues: every cross-LP schedule transmits a
+        channel-clock promise (sent), and the ones that lower the
+        bursting LP's bound are the promises it consumed (received).
+        ``merge_idle_s``/``lp_exec_s`` are wall-clock and stay zero
+        unless a flight recorder was attached (``engine.profiler``);
+        everything else is deterministic.
+        """
+        lp_events = list(self._lp_exec)
+        total = sum(lp_events)
+        imbalance = (
+            max(lp_events) * self.shards / total if total else 1.0
+        )
         return {
             "shards": self.shards,
             "bursts": self._bursts,
             "cross_lp_events": self._xlp,
             "null_updates": self._null_updates,
+            "nulls_sent": self._xlp,
+            "nulls_received": self._null_updates,
+            "lp_events": lp_events,
+            "eot_advances": self._eot_advances,
+            "imbalance": imbalance,
+            "merge_idle_s": self._merge_s,
+            "lp_exec_s": list(self._exec_s),
             "channel_clocks": {
                 f"{src}->{dst}": clock
                 for (src, dst), clock in sorted(self._chan.items())

@@ -75,7 +75,12 @@ from .engine import SimulationError
 #: v3: the engine may be a :class:`repro.sim.lp.ShardedEngine` (per-LP
 #:     event queues + shard map + channel clocks in the pickled layout),
 #:     and ``Link`` carries its owner's LP affinity.
-FORMAT_VERSION = 3
+#:
+#: v4: the engine carries flight-recorder churn counters
+#:     (``_timer_allocs``/``_compactions``, plus the sharded engine's
+#:     per-LP accounting) in its pickled layout; v3 blobs restored by v4
+#:     code would lack them and die on first digest.
+FORMAT_VERSION = 4
 
 #: Protocol 4 is the newest protocol supported by every interpreter in
 #: the CI matrix; the digest pins the writer's Python anyway, this just

@@ -1,0 +1,161 @@
+"""Unit contract of the wall-clock flight recorder.
+
+The recorder's accounting rules — site identity, layer grouping, named
+counters, the engine/LP digest — independent of any campaign.  The
+observer-effect and byte-identity contracts live in
+``test_profiler_determinism.py``.
+"""
+
+import pickle
+
+from repro.obs.profiler import FlightRecorder, layer_of
+from repro.sim.engine import Engine
+from repro.sim.lp import ShardedEngine
+
+
+class _Component:
+    def __init__(self):
+        self.fired = 0
+
+    def tick(self):
+        self.fired += 1
+
+
+def test_bound_methods_share_a_site_across_instances():
+    """Sites key on the code object, not the (recycled) bound method."""
+    rec = FlightRecorder()
+    a, b = _Component(), _Component()
+    rec.record(a.tick, 0.5)
+    rec.record(b.tick, 0.25)
+    sites = rec.sites()
+    assert len(sites) == 1
+    assert sites[0]["events"] == 2
+    assert sites[0]["self_s"] == 0.75
+    assert sites[0]["site"].endswith("_Component.tick")
+
+
+def test_plain_functions_and_closures_share_a_site():
+    rec = FlightRecorder()
+
+    def make():
+        def cb():
+            pass
+
+        return cb
+
+    rec.record(make(), 0.1)
+    rec.record(make(), 0.2)  # distinct closure, same code object
+    assert len(rec.sites()) == 1
+    assert rec.sites()[0]["events"] == 2
+
+
+def test_counters_accumulate():
+    rec = FlightRecorder()
+    rec.count("fabric.fast_cached")
+    rec.count("fabric.fast_cached")
+    rec.count("fabric.fast_train", 7)
+    assert rec.counters == {"fabric.fast_cached": 2, "fabric.fast_train": 7}
+
+
+def test_layer_of_maps_repro_modules_to_their_layer():
+    assert layer_of("repro.net.fabric") == "net"
+    assert layer_of("repro.sim.engine") == "sim"
+    assert layer_of("tests.obs.test_profiler") == "tests"
+    assert layer_of("builtins") == "builtins"
+
+
+def test_layers_group_self_time_by_module():
+    rec = FlightRecorder()
+    rec.record(_Component().tick, 1.0)
+    layers = rec.layers()
+    assert list(layers) == ["tests"]
+    assert layers["tests"]["events"] == 1
+    assert layers["tests"]["self_s"] == 1.0
+
+
+def test_engine_run_dispatches_to_the_profiled_loop():
+    """Attaching a recorder makes every callback show up with self-time."""
+    e = Engine()
+    e.profiler = rec = FlightRecorder()
+    fired = []
+
+    def tick():
+        fired.append(e.now)
+        if len(fired) < 5:
+            e.call_after(1.0, tick)
+
+    e.call_after(1.0, tick)
+    e.run()
+    assert len(fired) == 5
+    digest = rec.digest(e)
+    assert digest["events"] == 5
+    assert digest["self_s"] >= 0.0
+    assert digest["engine"]["events_processed"] == e.events_processed
+    # Every scheduled timer is either a fresh allocation or a freelist
+    # reuse; the two columns partition the schedule count.
+    eng = digest["engine"]
+    assert eng["timer_allocs"] + eng["freelist_reuse"] == eng["scheduled"]
+
+
+def test_sharded_engine_digest_carries_lp_stats():
+    e = ShardedEngine(shards=3)
+    e.profiler = rec = FlightRecorder()
+    fired = []
+
+    def tick(i):
+        fired.append(i)
+        if len(fired) < 30:
+            # Rotate affinity so every LP sees events (and the schedule
+            # crosses LP boundaries, exercising the null-message path).
+            prev = e.pin(len(fired) % 3)
+            e.call_after(0.5, tick, len(fired))
+            e.pin(prev)
+
+    e.call_after(0.5, tick, 0)
+    e.run()
+    digest = rec.digest(e)
+    lp = digest["lp"]
+    assert lp["shards"] == 3
+    assert sum(lp["lp_events"]) == e.events_processed
+    assert lp["imbalance"] >= 1.0
+    assert lp["eot_advances"] > 0
+    # Wall-clock columns only advance under the profiled loop.
+    assert lp["merge_idle_s"] >= 0.0
+    assert len(lp["lp_exec_s"]) == 3
+
+
+def test_recorder_never_survives_pickling():
+    """Warm checkpoints must not embed host wall-clock state."""
+    e = Engine()
+    e.profiler = FlightRecorder()
+    e.call_after(1.0, lambda: None)
+    state = e.__getstate__()
+    assert state["profiler"] is None
+
+
+def test_sharded_engine_zeroes_wall_clock_in_snapshots():
+    e = ShardedEngine(shards=2)
+    e.profiler = FlightRecorder()
+    e.call_after(1.0, lambda: None)
+    e.run()
+    e._merge_s = 1.25
+    e._exec_s = [0.5, 0.75]
+    clone = pickle.loads(pickle.dumps(e))
+    assert clone.profiler is None
+    assert clone._merge_s == 0.0
+    assert clone._exec_s == [0.0, 0.0]
+    # Deterministic counters DO travel: they are pure functions of the
+    # event stream, identical profiled or not.
+    assert clone._lp_exec == e._lp_exec
+    assert clone._eot_advances == e._eot_advances
+
+
+def test_digest_is_json_ready():
+    import json
+
+    e = Engine()
+    e.profiler = rec = FlightRecorder()
+    e.call_after(1.0, lambda: None)
+    e.run()
+    rec.count("fabric.slow", 3)
+    json.dumps(rec.digest(e))  # must not raise

@@ -63,13 +63,15 @@ def _fake_cells(subscriber_errors):
         normal_throughput=100.0,
     )
 
-    def baseline(version, settings, seed, trace=None, spans=None, warm=None):
+    def baseline(version, settings, seed, trace=None, spans=None, warm=None,
+                 profile_wall=False):
         return {
             "kind": "baseline", "tn": 100.0, "elapsed": 0.0,
             "telemetry": dict(telemetry),
         }
 
-    def fault(version, fault_value, settings, seed, trace=None, spans=None, warm=None):
+    def fault(version, fault_value, settings, seed, trace=None, spans=None,
+              warm=None, profile_wall=False):
         return {
             "kind": "profile", "profile": profile.to_dict(), "elapsed": 0.0,
             "telemetry": dict(telemetry),
