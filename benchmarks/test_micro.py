@@ -325,6 +325,40 @@ def test_lp_cluster_64node(benchmark, shards):
     assert events > 10_000
 
 
+@pytest.mark.parametrize(
+    "backend", ["serial", "threads", "processes"],
+    ids=["serial", "threads", "processes"],
+)
+def test_lp_backend_64node(benchmark, backend):
+    """The 64-node / 4-LP cluster under each execution backend.
+
+    The companion of ``test_lp_cluster_64node``: same workload, but the
+    four logical processes execute serially, on worker threads, or on OS
+    worker processes exchanging EOT/null/frame records over pipes.  All
+    three are bit-identical by construction (``tests/sim/test_lp_backends``
+    enforces that), so the triple is purely a wall-clock comparison.  The
+    gated claims in BENCH_micro.json are CPU-aware: on a multi-core host
+    the processes backend must beat serial by ``min_speedup_multicore``;
+    on a single core there is no parallel hardware to win with, so the
+    gate degrades to an honest overhead bound (``min_speedup`` < 1) —
+    see PERFORMANCE.md ("Parallel LP backend").
+    """
+    from repro.press.cluster import SMOKE_SCALE, PressCluster
+    from repro.press.config import VIA_PRESS_5
+
+    def run_cluster():
+        c = PressCluster(
+            VIA_PRESS_5, n_nodes=64, scale=SMOKE_SCALE, seed=1,
+            utilization=0.5, shards=4, lp_backend=backend,
+        )
+        c.start()
+        c.run_until(15.0)
+        return c.engine.events_processed
+
+    events = benchmark(run_cluster)
+    assert events > 10_000
+
+
 @pytest.mark.parametrize("mode", ["cold", "warm"])
 def test_campaign_warm_vs_cold(benchmark, mode):
     """One warm group (baseline + two faults), cold vs warm-started.

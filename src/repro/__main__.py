@@ -35,6 +35,7 @@ from .experiments.store import CACHE_DIR_ENV
 from .faults.spec import FaultKind
 from .obs.exporters import TRACE_FORMATS
 from .press.cluster import ExperimentScale
+from .sim.lpexec import BACKENDS
 
 
 def _repetition(args: argparse.Namespace):
@@ -67,6 +68,7 @@ def _settings(args: argparse.Namespace) -> Phase1Settings:
             fastpath=not args.no_fastpath,
             n_nodes=args.nodes,
             shards=args.shards,
+            lp_backend=args.lp_backend,
             repetition=_repetition(args),
         )
     except ValueError as exc:
@@ -265,18 +267,24 @@ def cmd_store_diff(args) -> None:
 
 
 def cmd_perf_report(args) -> None:
-    from .analysis.perf import perf_report_from_store
+    from .analysis.perf import perf_report_from_store, perf_report_json
 
     try:
-        print(perf_report_from_store(args.store))
+        if args.json:
+            print(perf_report_json(args.store))
+        else:
+            print(perf_report_from_store(args.store))
     except ValueError as exc:
         sys.exit(f"perf-report: {exc}")
 
 
 def cmd_perf_compare(args) -> None:
-    from .analysis.perf import perf_compare
+    from .analysis.perf import perf_compare, perf_compare_json
 
-    text, comparable = perf_compare(args.store_a, args.store_b)
+    if args.json:
+        text, comparable = perf_compare_json(args.store_a, args.store_b)
+    else:
+        text, comparable = perf_compare(args.store_a, args.store_b)
     print(text)
     if not comparable:
         sys.exit("perf-compare: nothing to compare")
@@ -417,6 +425,14 @@ def build_parser() -> argparse.ArgumentParser:
         "value; capped at --nodes; see PERFORMANCE.md \"LP sharding\")",
     )
     parser.add_argument(
+        "--lp-backend", choices=list(BACKENDS), default="serial",
+        help="execution backend for the sharded engine: serial (exact "
+        "in-process merge, the default), threads (per-LP worker threads, "
+        "debug fallback), or processes (per-LP OS workers exchanging "
+        "EOT/null messages over pipes); byte-identical results for every "
+        "choice — see PERFORMANCE.md \"Parallel LP backend\"",
+    )
+    parser.add_argument(
         "--trace-dir", default=None,
         help="emit one structured trace per run/cell into this directory "
         "(campaign cells always execute when tracing)",
@@ -478,6 +494,11 @@ def build_parser() -> argparse.ArgumentParser:
         "per-cell breakdown (needs a --profile campaign in the store)",
     )
     p_perf.add_argument("store", help="campaign cache dir (a DiskStore)")
+    p_perf.add_argument(
+        "--json", action="store_true",
+        help="emit the aggregated ledger as machine-readable JSON "
+        "(stable key order) instead of the text report",
+    )
 
     p_pcmp = sub.add_parser(
         "perf-compare",
@@ -486,6 +507,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_pcmp.add_argument("store_a", help="first profiled cache dir")
     p_pcmp.add_argument("store_b", help="second profiled cache dir")
+    p_pcmp.add_argument(
+        "--json", action="store_true",
+        help="emit the per-layer/total deltas as machine-readable JSON "
+        "instead of the text diff",
+    )
 
     p_dash = sub.add_parser(
         "dashboard",

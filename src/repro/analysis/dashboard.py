@@ -643,20 +643,55 @@ def _performance_section(
     if lp and lp.get("shards"):
         events = lp.get("lp_events") or []
         per = ", ".join(f"lp{i}: {n}" for i, n in enumerate(events))
+        # Zero-event/zero-time LPs make the ratio undefined: render
+        # "n/a", never a division error or an inf.
+        imb = lp.get("imbalance")
+        imb_txt = f"{imb:.2f}x ideal" if imb is not None else "n/a"
         out.append(
             f"<p>LP shards: {lp['shards']} — load imbalance "
-            f"{_fmt(lp.get('imbalance'), 2)}x ideal "
+            f"{imb_txt} "
             f"({escape(per)}); {lp.get('nulls_sent', 0)} null messages "
             f"sent, {lp.get('nulls_received', 0)} received, "
             f"merge-loop idle {_fmt(lp.get('merge_idle_s'), 4)}s.</p>"
         )
+        worker_exec = lp.get("worker_exec_s") or []
+        if any(worker_exec):
+            wimb = lp.get("worker_imbalance")
+            wimb_txt = f"{wimb:.2f}x ideal" if wimb is not None else "n/a"
+            idle = lp.get("worker_idle_s") or []
+            blocked = lp.get("worker_blocked_s") or []
+            out.append(
+                f"<p>LP workers ({escape(str(lp.get('backend') or '?'))}): "
+                f"load imbalance {wimb_txt} over real per-worker wall "
+                "clocks.</p>"
+            )
+            out.append(
+                "<table><tr><th class='label'>worker</th><th>exec (s)</th>"
+                "<th>idle (s)</th><th>blocked-on-null (s)</th></tr>"
+            )
+            for i, ex in enumerate(worker_exec):
+                idl = idle[i] if i < len(idle) else 0.0
+                blk = blocked[i] if i < len(blocked) else 0.0
+                out.append(
+                    f"<tr><td class='label'>lp{i}</td>"
+                    f"<td>{_fmt(ex, 4)}</td><td>{_fmt(idl, 4)}</td>"
+                    f"<td>{_fmt(blk, 4)}</td></tr>"
+                )
+            out.append("</table>")
     if agg["cells"]:
         out.append(
             "<table><tr><th class='label'>cell</th><th>execute (s)</th>"
             "<th>restore (s)</th><th>serialize (s)</th>"
             "<th>snapshot (s)</th><th>events</th></tr>"
         )
-        for c in agg["cells"][:15]:
+        # The aggregate keeps cells label-sorted (byte-stable ledgers);
+        # the panel shows the expensive ones first.
+        by_cost = sorted(
+            agg["cells"],
+            key=lambda c: (-float(c.get("execute_s") or 0.0),
+                           str(c.get("cell"))),
+        )
+        for c in by_cost[:15]:
             out.append(
                 f"<tr><td class='label'>{escape(str(c.get('cell')))}</td>"
                 f"<td>{_fmt(c.get('execute_s'), 3)}</td>"

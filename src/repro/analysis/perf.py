@@ -51,19 +51,33 @@ def _merge_lp(agg: Optional[dict], lp: dict) -> dict:
     if agg is None:
         agg = {
             "shards": 0,
+            "backend": None,
             "bursts": 0,
             "nulls_sent": 0,
             "nulls_received": 0,
             "eot_advances": 0,
             "lp_events": [],
             "lp_exec_s": [],
+            "worker_exec_s": [],
+            "worker_idle_s": [],
+            "worker_blocked_s": [],
             "merge_idle_s": 0.0,
         }
     agg["shards"] = max(agg["shards"], int(lp.get("shards", 0)))
+    backend = lp.get("backend")
+    if backend:
+        prev = agg.get("backend")
+        agg["backend"] = backend if prev in (None, backend) else "mixed"
     for key in ("bursts", "nulls_sent", "nulls_received", "eot_advances"):
         agg[key] += int(lp.get(key, 0))
     agg["merge_idle_s"] += float(lp.get("merge_idle_s", 0.0))
-    for key in ("lp_events", "lp_exec_s"):
+    for key in (
+        "lp_events",
+        "lp_exec_s",
+        "worker_exec_s",
+        "worker_idle_s",
+        "worker_blocked_s",
+    ):
         values = lp.get(key) or []
         dst = agg[key]
         while len(dst) < len(values):
@@ -73,12 +87,17 @@ def _merge_lp(agg: Optional[dict], lp: dict) -> dict:
     return agg
 
 
-def _imbalance(lp_events: List[int]) -> float:
-    """Load-imbalance index: max LP share over the ideal equal share."""
-    total = sum(lp_events)
-    if not lp_events or total <= 0:
-        return 1.0
-    return max(lp_events) * len(lp_events) / total
+def _imbalance(shares: List[float]) -> Optional[float]:
+    """Load-imbalance index: max LP share over the ideal equal share.
+
+    ``None`` (rendered ``n/a``) when nothing ran — a share of zero work
+    is undefined, not perfectly balanced, and must never divide by zero
+    or read as ``inf``.
+    """
+    total = sum(shares)
+    if not shares or total <= 0:
+        return None
+    return max(shares) * len(shares) / total
 
 
 def aggregate_perf(rows: Iterable[dict]) -> dict:
@@ -142,7 +161,11 @@ def aggregate_perf(rows: Iterable[dict]) -> dict:
         )
     if lp is not None:
         lp["imbalance"] = _imbalance(lp["lp_events"])
-    cells.sort(key=lambda c: (-c["execute_s"], c["cell"]))
+        lp["worker_imbalance"] = _imbalance(lp.get("worker_exec_s") or [])
+    # Stable label order (not wall-clock order) so the aggregate — and
+    # the ledger rows built from it — byte-diffs cleanly across runs
+    # with identical structure; display views re-sort by cost locally.
+    cells.sort(key=lambda c: c["cell"])
     return {
         "totals": totals,
         "layers": {k: layers[k] for k in sorted(layers)},
@@ -202,7 +225,14 @@ def campaign_ledger(report, settings=None) -> dict:
             "engine": agg["engine"],
             "lp": agg["lp"],
         },
-        "top_cells": agg["cells"][:10],
+        # Top 10 by execute time, then label-sorted so the committed
+        # ledger is byte-stable whenever the same rows make the cut.
+        "top_cells": sorted(
+            sorted(agg["cells"], key=lambda c: (-c["execute_s"], c["cell"]))[
+                :10
+            ],
+            key=lambda c: c["cell"],
+        ),
     }
     if settings is not None:
         ledger["settings"] = {
@@ -212,6 +242,7 @@ def campaign_ledger(report, settings=None) -> dict:
             "seed": getattr(settings, "seed", None),
             "n_nodes": getattr(settings, "n_nodes", None),
             "shards": getattr(settings, "shards", None),
+            "lp_backend": getattr(settings, "lp_backend", None),
             "fastpath": getattr(settings, "fastpath", None),
             "replications": getattr(settings, "replications", None),
         }
@@ -288,6 +319,11 @@ def _fastpath_lines(counters: Dict[str, int]) -> List[str]:
     ]
 
 
+def _ratio(value: Optional[float]) -> str:
+    """Render an imbalance index, or ``n/a`` for the undefined case."""
+    return f"{value:.2f}x ideal" if value is not None else "n/a"
+
+
 def _lp_lines(lp: Optional[dict]) -> List[str]:
     if not lp or not lp.get("shards"):
         return []
@@ -295,7 +331,7 @@ def _lp_lines(lp: Optional[dict]) -> List[str]:
     exec_s = lp.get("lp_exec_s") or []
     lines = [
         f"lp shards: {lp['shards']} — load imbalance "
-        f"{lp.get('imbalance', 1.0):.2f}x ideal, "
+        f"{_ratio(lp.get('imbalance'))}, "
         f"{lp.get('nulls_sent', 0)} null msgs sent, "
         f"{lp.get('nulls_received', 0)} received, "
         f"{lp.get('eot_advances', 0)} EOT advances, "
@@ -308,6 +344,26 @@ def _lp_lines(lp: Optional[dict]) -> List[str]:
             for i, n in enumerate(events)
         )
         lines.append(f"  events per LP: {per}")
+    worker_exec = lp.get("worker_exec_s") or []
+    if any(worker_exec):
+        backend = lp.get("backend") or "?"
+        idle = lp.get("worker_idle_s") or []
+        blocked = lp.get("worker_blocked_s") or []
+        lines.append(
+            f"lp workers ({backend}): load imbalance "
+            f"{_ratio(lp.get('worker_imbalance'))} over real per-worker "
+            "wall clocks"
+        )
+        lines.append(
+            f"  {'worker':8s} {'exec_s':>10s} {'idle_s':>10s}"
+            f" {'blocked_on_null_s':>18s}"
+        )
+        for i, ex in enumerate(worker_exec):
+            idl = idle[i] if i < len(idle) else 0.0
+            blk = blocked[i] if i < len(blocked) else 0.0
+            lines.append(
+                f"  lp{i:<6d} {ex:10.4f} {idl:10.4f} {blk:18.4f}"
+            )
     return lines
 
 
@@ -316,6 +372,9 @@ def _cell_lines(cells: List[dict], top: int = 15) -> List[str]:
         f"  {'cell':38s} {'execute':>9s} {'restore':>9s}"
         f" {'serialize':>9s} {'snapshot':>9s} {'events':>9s}"
     ]
+    # The aggregate keeps cells label-sorted for byte-stable ledgers;
+    # the human view wants the expensive ones first.
+    cells = sorted(cells, key=lambda c: (-c["execute_s"], c["cell"]))
     for c in cells[:top]:
         lines.append(
             f"  {c['cell']:38s} {c['execute_s']:8.3f}s {c['restore_s']:8.3f}s"
@@ -525,3 +584,92 @@ def perf_compare(dir_a, dir_b) -> Tuple[str, bool]:
             )
         )
     return "\n".join(lines), True
+
+
+# ----------------------------------------------------------------------
+# Machine-readable views (--json)
+# ----------------------------------------------------------------------
+
+
+def perf_report_json(cache_dir) -> str:
+    """``perf-report --json``: the aggregated ledger as stable JSON.
+
+    Key order is sorted and the per-cell rows are label-sorted (see
+    :func:`aggregate_perf`), so tracking the bench trajectory is a
+    ``jq``/diff affair instead of scraping the text report.
+    """
+    cache_dir = Path(cache_dir)
+    if not cache_dir.is_dir():
+        raise ValueError(f"{cache_dir}: not a directory")
+    payload = {
+        "kind": "perf-report",
+        "source": str(cache_dir),
+        "aggregate": aggregate_perf(_store_rows(cache_dir)),
+        "ledger": load_ledger(cache_dir),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def perf_compare_json(dir_a, dir_b) -> Tuple[str, bool]:
+    """``perf-compare --json``: the A/B deltas as stable JSON.
+
+    Same comparability contract as :func:`perf_compare`: the flag is
+    False (CLI exits non-zero) when either side has no perf data.
+    """
+    dir_a, dir_b = Path(dir_a), Path(dir_b)
+    agg_a, ledger_a = _side(dir_a)
+    agg_b, ledger_b = _side(dir_b)
+    has_a = bool(agg_a["totals"]["cells"] or ledger_a)
+    has_b = bool(agg_b["totals"]["cells"] or ledger_b)
+
+    def delta(a: Optional[float], b: Optional[float]) -> dict:
+        a = float(a or 0.0)
+        b = float(b or 0.0)
+        return {
+            "a": a,
+            "b": b,
+            "delta": b - a,
+            "relative": (b - a) / a if a else None,
+        }
+
+    payload = {
+        "kind": "perf-compare",
+        "a": str(dir_a),
+        "b": str(dir_b),
+        "comparable": has_a and has_b,
+        "wall_clock_s": delta(
+            (ledger_a or {}).get("wall_clock_s"),
+            (ledger_b or {}).get("wall_clock_s"),
+        ),
+        "totals": {
+            key: delta(agg_a["totals"][key], agg_b["totals"][key])
+            for key in (
+                "execute_s",
+                "restore_s",
+                "serialize_s",
+                "snapshot_s",
+                "events",
+            )
+        },
+        "layers": {
+            layer: delta(
+                (agg_a["layers"].get(layer) or {}).get("self_s"),
+                (agg_b["layers"].get(layer) or {}).get("self_s"),
+            )
+            for layer in sorted(set(agg_a["layers"]) | set(agg_b["layers"]))
+        },
+        "counters": {
+            name: delta(
+                agg_a["counters"].get(name, 0),
+                agg_b["counters"].get(name, 0),
+            )
+            for name in sorted(
+                set(agg_a["counters"]) | set(agg_b["counters"])
+            )
+        },
+        "lp_imbalance": {
+            "a": (agg_a["lp"] or {}).get("imbalance"),
+            "b": (agg_b["lp"] or {}).get("imbalance"),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True), has_a and has_b

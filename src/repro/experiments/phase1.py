@@ -50,6 +50,7 @@ def build_cluster(config: PressConfig, settings: Phase1Settings) -> PressCluster
         reboot_time=settings.reboot_time,
         fastpath=settings.fastpath,
         shards=settings.shards,
+        lp_backend=settings.lp_backend,
     )
 
 

@@ -142,6 +142,11 @@ class Phase1Settings:
     # (enforced by the equivalence tests); >1 partitions the engine into
     # per-node-group queues under conservative synchronization.
     shards: int = 1
+    # Execution backend of the sharded engine (repro.sim.lpexec):
+    # "serial" (in-process exact merge), "threads", or "processes".
+    # Like shards, byte-identical results for every value — and like
+    # shards, keyed so a verification run actually runs.
+    lp_backend: str = "serial"
     # Replication policy.  ``None`` means "fixed at ``replications``" —
     # the legacy mode; an adaptive :class:`RepetitionPolicy` makes the
     # campaign runner extend each stream until its stopping rule fires.
@@ -162,6 +167,13 @@ class Phase1Settings:
         if not isinstance(self.shards, int) or self.shards < 1:
             raise ValueError(
                 f"shards must be a positive integer (got {self.shards!r})"
+            )
+        from ..sim.lpexec import BACKENDS
+
+        if self.lp_backend not in BACKENDS:
+            raise ValueError(
+                f"lp_backend must be one of {BACKENDS}, "
+                f"got {self.lp_backend!r}"
             )
 
     def repetition_policy(self) -> RepetitionPolicy:
@@ -204,6 +216,9 @@ class Phase1Settings:
             # Same rationale as fastpath: a `--shards N` verification
             # run must not be satisfied from another mode's cache.
             self.shards,
+            # And again for `--lp-backend`: byte-identity across
+            # backends is checked by running each one for real.
+            self.lp_backend,
         )
 
     def cache_key(self) -> tuple:

@@ -66,7 +66,12 @@ from typing import Dict, Optional, Tuple, Union
 #:        ``shards`` value — it is keyed, like ``fastpath``, only so a
 #:        verification run cannot be satisfied from another mode's
 #:        cache.
-SCHEMA_VERSION = 7
+#:   v8 — parallel LP execution: the settings key gains ``lp_backend``
+#:        (serial / threads / processes execution of the sharded
+#:        engine, repro.sim.lpexec).  Same contract as ``shards``:
+#:        payloads are byte-identical for every backend, keyed only so
+#:        a verification run actually runs.
+SCHEMA_VERSION = 8
 
 #: Environment variable consulted by the CLI for a default cache dir.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

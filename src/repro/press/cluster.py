@@ -158,6 +158,7 @@ class PressCluster:
         via_params=None,
         fastpath: bool = True,
         shards: int = 1,
+        lp_backend: str = "serial",
     ):
         self.config_base = config
         self.scale = scale
@@ -166,8 +167,14 @@ class PressCluster:
         # invisible in every observable output.  More shards than nodes
         # would leave empty queues in every scheduling round, so cap.
         self.shards = max(1, min(int(shards), n_nodes))
-        if self.shards > 1:
-            self.engine = ShardedEngine(shards=self.shards)
+        # Execution backend (repro.sim.lpexec): same invisibility
+        # contract.  A parallel backend needs the sharded engine even at
+        # one shard, so the worker protocol has a queue to mirror.
+        self.lp_backend = lp_backend
+        if self.shards > 1 or lp_backend != "serial":
+            self.engine = ShardedEngine(
+                shards=self.shards, backend=lp_backend
+            )
         else:
             self.engine = Engine()
         # Attach the observability substrate before any component is

@@ -99,7 +99,7 @@ class Timer:
         if not self.fired:
             engine = self.engine
             if engine is not None:
-                engine._note_cancel()
+                engine._note_cancel(self)
 
     @property
     def active(self) -> bool:
@@ -303,7 +303,7 @@ class Engine:
     # ------------------------------------------------------------------
     # Tombstone bookkeeping
     # ------------------------------------------------------------------
-    def _note_cancel(self) -> None:
+    def _note_cancel(self, timer: Timer) -> None:
         """A live timer was cancelled (called by :meth:`Timer.cancel`)."""
         self._live -= 1
         self._tombstones = tombstones = self._tombstones + 1

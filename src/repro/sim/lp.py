@@ -91,11 +91,34 @@ class ShardedEngine(Engine):
     the synchronization model.
     """
 
-    def __init__(self, shards: int = 2, start_time: float = 0.0):
+    def __init__(
+        self,
+        shards: int = 2,
+        start_time: float = 0.0,
+        backend: str = "serial",
+    ):
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
+        from .lpexec import BACKENDS
+
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
         super().__init__(start_time)
         self.shards = shards
+        #: Execution backend: "serial" (in-process exact merge), "threads"
+        #: (per-LP worker threads under grant/reply alternation), or
+        #: "processes" (per-LP OS workers mirroring their queue over
+        #: pipes).  All three produce byte-identical observables; see
+        #: lpexec's module docstring for the contract.
+        self.backend = backend
+        #: Protocol capture hook (processes backend): per-LP record
+        #: buffers that call_at/call_after/_note_cancel append schedule
+        #: and cancel records to while a parallel run is active.  None
+        #: outside run_parallel, so the serial hot path pays one
+        #: attribute test per schedule.
+        self._proto: Optional[list] = None
         self._queues = [_LpQueue(i) for i in range(shards)]
         #: component name -> LP index (assembly-time partition record).
         self._shard_map: Dict[str, int] = {}
@@ -122,6 +145,12 @@ class ShardedEngine(Engine):
         self._eot_time = -math.inf
         self._merge_s = 0.0  # outer-scan (merge/LBTS) wall-clock
         self._exec_s = [0.0] * shards  # burst wall-clock, per LP
+        # Per-worker wall clocks, measured *inside* each worker by the
+        # parallel backends (threads/processes) and merged here when the
+        # fleet is reaped; all-zero under the serial backend.
+        self._worker_exec = [0.0] * shards
+        self._worker_idle = [0.0] * shards
+        self._worker_blocked = [0.0] * shards
 
     # ------------------------------------------------------------------
     # Partitioning / affinity
@@ -198,6 +227,9 @@ class ShardedEngine(Engine):
         else:
             heappush(q.heap, entry)
         self._live += 1
+        proto = self._proto
+        if proto is not None:
+            proto[q.lp].append(("s", time, seq))
         active = self._active
         if active >= 0 and q.lp != active:
             chan = self._chan
@@ -248,6 +280,9 @@ class ShardedEngine(Engine):
         else:
             heappush(q.heap, entry)
         self._live += 1
+        proto = self._proto
+        if proto is not None:
+            proto[q.lp].append(("s", time, seq))
         active = self._active
         if active >= 0 and q.lp != active:
             chan = self._chan
@@ -264,7 +299,15 @@ class ShardedEngine(Engine):
     # ------------------------------------------------------------------
     # Tombstone bookkeeping (global count, all-queue compaction)
     # ------------------------------------------------------------------
-    def _note_cancel(self) -> None:
+    def _note_cancel(self, timer: Timer) -> None:
+        proto = self._proto
+        if proto is not None:
+            # A timer does not know which LP queue holds it, so cancels
+            # are broadcast; mirrors hold seqs they never see, which is
+            # bounded by the run's cancel count (see lpexec.LpMirror).
+            rec = ("c", timer.seq)
+            for buf in proto:
+                buf.append(rec)
         self._live -= 1
         self._tombstones = tombstones = self._tombstones + 1
         if tombstones > _COMPACT_MIN and tombstones * 2 > sum(
@@ -374,7 +417,14 @@ class ShardedEngine(Engine):
         lowered by cross-LP schedules, never raised).  Semantics match
         the base engine exactly: same stop conditions, same clock
         advance, same StopSimulation and live-count handling.
+
+        The parallel backends dispatch to :mod:`repro.sim.lpexec`; the
+        serial merge below stays probe-free.
         """
+        if self.backend != "serial":
+            from .lpexec import run_parallel
+
+            return run_parallel(self, until)
         if self.profiler is not None:
             return self._run_profiled(until)
         if self._running:
@@ -556,6 +606,13 @@ class ShardedEngine(Engine):
         state = super().__getstate__()
         state["_merge_s"] = 0.0
         state["_exec_s"] = [0.0] * self.shards
+        state["_worker_exec"] = [0.0] * self.shards
+        state["_worker_idle"] = [0.0] * self.shards
+        state["_worker_blocked"] = [0.0] * self.shards
+        # Backend runtime (worker fleets, pipes, buffers) lives entirely
+        # in run_parallel locals, so a checkpoint never carries it; the
+        # capture hook is forced off for the same reason.
+        state["_proto"] = None
         return state
 
     # ------------------------------------------------------------------
@@ -581,15 +638,29 @@ class ShardedEngine(Engine):
         bursting LP's bound are the promises it consumed (received).
         ``merge_idle_s``/``lp_exec_s`` are wall-clock and stay zero
         unless a flight recorder was attached (``engine.profiler``);
-        everything else is deterministic.
+        ``worker_exec_s``/``worker_idle_s``/``worker_blocked_s`` are
+        measured *inside* each worker by the parallel backends
+        (always-on there, all-zero under ``serial``), and
+        ``worker_imbalance`` is the load-imbalance index over those real
+        per-worker clocks.  Everything else is deterministic.
         """
         lp_events = list(self._lp_exec)
         total = sum(lp_events)
+        # None (rendered "n/a") when no events ran: a ratio over zero
+        # events is undefined, not "perfectly balanced".
         imbalance = (
-            max(lp_events) * self.shards / total if total else 1.0
+            max(lp_events) * self.shards / total if total else None
+        )
+        worker_exec = list(self._worker_exec)
+        worker_total = sum(worker_exec)
+        worker_imbalance = (
+            max(worker_exec) * self.shards / worker_total
+            if worker_total
+            else None
         )
         return {
             "shards": self.shards,
+            "backend": self.backend,
             "bursts": self._bursts,
             "cross_lp_events": self._xlp,
             "null_updates": self._null_updates,
@@ -600,6 +671,10 @@ class ShardedEngine(Engine):
             "imbalance": imbalance,
             "merge_idle_s": self._merge_s,
             "lp_exec_s": list(self._exec_s),
+            "worker_exec_s": worker_exec,
+            "worker_idle_s": list(self._worker_idle),
+            "worker_blocked_s": list(self._worker_blocked),
+            "worker_imbalance": worker_imbalance,
             "channel_clocks": {
                 f"{src}->{dst}": clock
                 for (src, dst), clock in sorted(self._chan.items())

@@ -1,0 +1,844 @@
+"""Parallel execution backends for :class:`~repro.sim.lp.ShardedEngine`.
+
+PR 8 decomposed the simulation into logical processes under conservative
+(Chandy–Misra–Bryant) null-message synchronization, but the exact-merge
+scheduler still executed every LP serially inside one interpreter.  This
+module adds the worker transports: the already-modeled protocol traffic —
+EOT announcements, null messages (burst-bound lowerings), and cross-LP
+frame deliveries — now flows over explicit worker channels instead of the
+in-process merge loop.  Three backends share one contract:
+
+``serial``
+    The PR 8 merge loop, unchanged (it lives in ``lp.py``; this module is
+    never imported).  Default, and the reference every other backend must
+    match byte for byte.
+
+``threads``
+    One worker thread per LP plus the coordinator.  The coordinator runs
+    the same LBTS scan as the serial merge, then *grants* the burst to the
+    owning worker thread over a queue; the granted worker executes its
+    LP's callbacks exclusively (exactly one grant is outstanding at any
+    instant, so callbacks still run in the serial total order against the
+    shared object graph).  A debug fallback: every protocol hop is
+    observable in-process, and each worker measures its own wall-clock
+    exec / idle / blocked-on-null split.
+
+``processes``
+    One OS worker process per LP (``multiprocessing`` pipes, fork when
+    available).  Each worker owns a live **mirror of its LP's event
+    queue** at the ``(time, seq)`` key level: the coordinator streams it
+    schedule / cancel / burst records (batched; see :data:`FLUSH_RECORDS`)
+    and the worker replays its queue independently — popping executed
+    keys, verifying every one stays below the granted burst bound, and
+    announcing its EOT (earliest output time) back on request.  The
+    coordinator cross-checks those EOT announcements against its own
+    heads, so the worker fleet is a distributed checker of the merge.
+    Callback *bodies* still execute in the coordinator: the simulated
+    components share one object graph (monitors and membership read
+    across nodes) and the engine's global sequence counter is assigned in
+    execution order, so byte-identical results force the serial total
+    order of callback execution.  What the workers take off-loop is the
+    queue replay, protocol verification, and wall-clock accounting — and
+    they die loudly: a killed worker surfaces as :class:`LpWorkerError`
+    at the next flush or sync, never as a hang (see :data:`SYNC_TIMEOUT`).
+
+Determinism is non-negotiable and holds by construction for every
+backend: cross-LP messages are applied in the same ``(time, seq)`` total
+order as the serial merge, so stores, traces, and span exports are
+byte-identical for every shard count and backend (enforced by
+``tests/sim/test_lp_backends.py`` and the CI ``lp-parallel-smoke`` job).
+
+The pure-protocol core (:func:`merge_order`, :class:`LpMirror`,
+:class:`MergeProtocol`) is deliberately free of transport details so the
+hypothesis property suite can drive arbitrary interleavings of EOT /
+null / frame messages through it and compare against the serial order.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from heapq import heapify, heappop, heappush
+from queue import SimpleQueue
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .engine import SimulationError, StopSimulation, _FREELIST_MAX
+
+#: Sentinel burst bound / empty-queue EOT: nothing earlier can exist.
+_INF_KEY = (math.inf, 0)
+
+#: The selectable execution backends (``--lp-backend``).
+BACKENDS = ("serial", "threads", "processes")
+
+#: Records buffered per LP before a pipe flush (processes backend).
+#: Batching amortizes pickling: one flush carries hundreds of protocol
+#: records, so transport cost scales with flushes, not events.
+FLUSH_RECORDS = 512
+
+#: Every Nth flush carries a sync token the worker must acknowledge —
+#: bounding pipe backlog and turning a dead worker into a prompt error.
+SYNC_FLUSHES = 16
+
+#: Seconds to wait on a worker acknowledgment before declaring it dead.
+SYNC_TIMEOUT = 60.0
+
+#: Test hook: ``(lp, flush_index)`` — the coordinator kills that LP's
+#: worker process just before the given flush, to prove a mid-run worker
+#: death is a clean :class:`LpWorkerError`, not a hang.  Never set
+#: outside the test suite.
+_TEST_KILL_BEFORE_FLUSH: Optional[Tuple[int, int]] = None
+
+
+class LpWorkerError(SimulationError):
+    """A parallel-backend worker died or broke protocol mid-run."""
+
+
+# ----------------------------------------------------------------------
+# Pure protocol core (transport-free; driven by the hypothesis suite)
+# ----------------------------------------------------------------------
+
+
+def merge_order(streams: Iterable[Iterable[Tuple[float, int]]]) -> list:
+    """The serial merge's total order over per-LP key streams.
+
+    ``(time, seq)`` keys are globally unique (the engine's sequence
+    counter never repeats), so the total order is simply the sorted
+    union — this is the reference every protocol reduction must match.
+    """
+    return sorted(key for stream in streams for key in stream)
+
+
+class LpMirror:
+    """Worker-side replica of one LP's event queue, at the key level.
+
+    Holds ``(time, seq)`` keys only — callback bodies stay with the
+    coordinator.  The coordinator streams it protocol records:
+
+    ``("s", time, seq)``
+        frame/schedule: an entry entered this LP's queue (a cross-LP
+        frame delivery or a local schedule during a burst);
+    ``("c", seq)``
+        cancel: the entry with sequence ``seq`` became a tombstone
+        (broadcast — mirrors skip seqs they never held);
+    ``("b", n, bound_time, bound_seq)``
+        burst: this LP executed its ``n`` earliest live entries, all of
+        which must lie strictly below the granted bound (the bound is
+        the net of the initial LBTS grant and every mid-burst null
+        message that lowered it).
+
+    :meth:`apply` raises :class:`LpWorkerError` on any protocol
+    violation — a popped key at/above the bound, or a burst against an
+    empty mirror — which is exactly the distributed check the processes
+    backend ships out of the merge loop.
+    """
+
+    __slots__ = ("lp", "heap", "cancelled", "executed", "keep", "order")
+
+    def __init__(
+        self,
+        lp: int,
+        keys: Iterable[Tuple[float, int]] = (),
+        keep_order: bool = False,
+    ):
+        self.lp = lp
+        self.heap: List[Tuple[float, int]] = list(keys)
+        heapify(self.heap)
+        self.cancelled: set = set()
+        self.executed = 0
+        self.keep = keep_order
+        #: executed keys in order (tests only; off by default)
+        self.order: List[Tuple[float, int]] = []
+
+    def head(self) -> Tuple[float, int]:
+        """Earliest live key (the LP's EOT announcement), or ``_INF_KEY``."""
+        heap = self.heap
+        cancelled = self.cancelled
+        while heap and heap[0][1] in cancelled:
+            cancelled.discard(heappop(heap)[1])
+        return heap[0] if heap else _INF_KEY
+
+    def apply(self, rec: tuple) -> None:
+        tag = rec[0]
+        if tag == "s":
+            heappush(self.heap, (rec[1], rec[2]))
+        elif tag == "c":
+            self.cancelled.add(rec[1])
+        elif tag == "b":
+            n, bound = rec[1], (rec[2], rec[3])
+            for _ in range(n):
+                key = self.head()
+                if key >= bound:
+                    raise LpWorkerError(
+                        f"LP {self.lp} mirror: executed key {key} is not "
+                        f"below the granted bound {bound}"
+                    )
+                heappop(self.heap)
+                self.executed += 1
+                if self.keep:
+                    self.order.append(key)
+        else:  # pragma: no cover - defensive
+            raise LpWorkerError(f"LP {self.lp} mirror: unknown record {rec!r}")
+
+
+class MergeProtocol:
+    """Executable specification of the coordinator's merge decisions.
+
+    Consumes the worker-side messages — EOT announcements, null messages
+    (bound lowerings caused by cross-LP frames), and frame deliveries —
+    and emits grants exactly the way the serial merge loop picks bursts:
+    grant the LP with the globally minimal announced EOT, bounded by the
+    second-best announcement, with mid-burst frames only ever *lowering*
+    the bound.  The backends implement this procedure against their
+    transports; the hypothesis suite drives this class directly with
+    arbitrary message interleavings and checks the executed order equals
+    :func:`merge_order`.
+    """
+
+    def __init__(self, mirrors: List[LpMirror]):
+        self.mirrors = mirrors
+
+    def eot(self, lp: int) -> Tuple[float, int]:
+        """LP ``lp``'s current EOT announcement."""
+        return self.mirrors[lp].head()
+
+    def next_grant(self) -> Optional[Tuple[int, Tuple[float, int]]]:
+        """The next ``(lp, bound)`` grant, or None when all queues drain.
+
+        The grant goes to the minimal announced EOT; the bound is the
+        second-best EOT — the exact LBTS the serial merge computes.
+        """
+        best_lp = -1
+        best = _INF_KEY
+        second = _INF_KEY
+        for mirror in self.mirrors:
+            key = mirror.head()
+            if key < best:
+                second = best
+                best = key
+                best_lp = mirror.lp
+            elif key < second:
+                second = key
+        if best_lp < 0:
+            return None
+        return best_lp, second
+
+    def run(self, frames: Dict[Tuple[float, int], List[tuple]]) -> list:
+        """Drain every queue; returns the executed keys in grant order.
+
+        ``frames`` maps an executed key to the cross-LP frame records
+        ``("s", t, seq, dst_lp)`` it emits when executed (each such frame
+        is also the null message that may lower the active bound).  The
+        burst semantics mirror the engine: execute the granted LP's head
+        while it stays strictly below the (possibly lowered) bound.
+        """
+        out: list = []
+        while True:
+            grant = self.next_grant()
+            if grant is None:
+                return out
+            lp, bound = grant
+            mirror = self.mirrors[lp]
+            while True:
+                key = mirror.head()
+                if key >= bound:
+                    break
+                mirror.apply(("b", 1, bound[0], bound[1]))
+                out.append(key)
+                for frame in frames.get(key, ()):
+                    _, t, seq, dst = frame
+                    self.mirrors[dst].apply(("s", t, seq))
+                    if dst != lp and (t, seq) < bound:
+                        bound = (t, seq)  # the null message, consumed
+
+
+# ----------------------------------------------------------------------
+# Shared coordinator pieces
+# ----------------------------------------------------------------------
+
+
+def _scan(engine) -> Tuple[Optional[object], tuple, tuple]:
+    """One LBTS round: the best/second head keys across every LP queue.
+
+    Same scan as the serial merge loop (``lp.py`` keeps its own inlined
+    copy on the unprofiled hot path); factored here for the parallel
+    coordinators.
+    """
+    best_q = None
+    best_key = _INF_KEY
+    second_key = _INF_KEY
+    for q in engine._queues:
+        entry = engine._head(q)
+        if entry is None:
+            continue
+        key = (entry[0], entry[1])
+        if key < best_key:
+            second_key = best_key
+            best_key = key
+            best_q = q
+        elif key < second_key:
+            second_key = key
+    return best_q, best_key, second_key
+
+
+def _queue_keys(engine, q) -> List[Tuple[float, int]]:
+    """The live ``(time, seq)`` keys of one LP queue — its snapshot slice.
+
+    This is what a worker receives to (re)construct its mirror, both at
+    run start and after a checkpoint restore (the backend is rebuilt per
+    ``run()``, so a restored engine re-ships each worker its LP slice).
+    """
+    keys = [
+        (entry[0], entry[1]) for entry in q.heap if not entry[2].cancelled
+    ]
+    nxt = q.next
+    if nxt is not None and not nxt[2].cancelled:
+        keys.append((nxt[0], nxt[1]))
+    return keys
+
+
+def run_parallel(engine, until: float = math.inf) -> None:
+    """Entry point: dispatch ``engine.run(until)`` to its backend."""
+    backend = engine.backend
+    if backend == "threads":
+        return _run_threads(engine, until)
+    if backend == "processes":
+        return _run_processes(engine, until)
+    raise SimulationError(f"unknown LP backend {backend!r}")
+
+
+# ----------------------------------------------------------------------
+# threads backend
+# ----------------------------------------------------------------------
+
+_STOP = object()
+
+
+class _LpWorkerThread(threading.Thread):
+    """One LP's executor: blocks on grants, bursts its queue exclusively.
+
+    Exactly one grant is outstanding at any instant (the coordinator
+    blocks on the shared outbox until the burst completes), so the
+    worker's burst body is the serial inner loop verbatim — same event
+    order, same clock advance, same freelist recycling — just running on
+    a different OS thread.  Wall-clock is measured where it happens: the
+    worker splits its own life into exec (bursting), blocked-on-null
+    (waiting with a live head — synchronization, not load), and idle
+    (waiting with an empty queue).
+    """
+
+    def __init__(self, engine, q, outbox: SimpleQueue, profiled: bool):
+        super().__init__(
+            name=f"lp-worker-{q.lp}", daemon=True
+        )
+        self.engine = engine
+        self.q = q
+        self.lp = q.lp
+        self.inbox: SimpleQueue = SimpleQueue()
+        self.outbox = outbox
+        self.profiled = profiled
+        self.exec_s = 0.0
+        self.idle_s = 0.0
+        self.blocked_s = 0.0
+        #: did this LP have a live head when it last went to sleep?
+        self.had_work = False
+
+    def run(self) -> None:
+        from repro.obs.profiler import perf_counter
+
+        engine = self.engine
+        q = self.q
+        lp = self.lp
+        freelist = engine._freelist
+        record = engine.profiler.record if self.profiled else None
+        inbox = self.inbox
+        outbox = self.outbox
+        while True:
+            wait0 = perf_counter()
+            msg = inbox.get()
+            waited = perf_counter() - wait0
+            if self.had_work:
+                self.blocked_s += waited
+            else:
+                self.idle_s += waited
+            if msg is _STOP:
+                return
+            until = msg
+            processed = 0
+            status = "bound"
+            error = None
+            burst0 = perf_counter()
+            try:
+                while True:
+                    nxt = engine._head(q)
+                    if nxt is None:
+                        break
+                    time = nxt[0]
+                    if (time, nxt[1]) >= engine._min_other:
+                        break
+                    if time > until:
+                        status = "until"
+                        break
+                    q.next = None
+                    timer = nxt[2]
+                    engine.now = time
+                    processed += 1
+                    timer.fired = True
+                    engine._cur = lp
+                    if record is None:
+                        try:
+                            timer.fn(*timer.args)
+                        except StopSimulation:
+                            status = "stopsim"
+                            break
+                    else:
+                        fn = timer.fn
+                        args = timer.args
+                        start = perf_counter()
+                        try:
+                            fn(*args)
+                        except StopSimulation:
+                            record(fn, perf_counter() - start)
+                            status = "stopsim"
+                            break
+                        record(fn, perf_counter() - start)
+                    if not timer.cancelled and len(freelist) < _FREELIST_MAX:
+                        freelist.append(timer)
+            except BaseException as exc:  # noqa: BLE001 - relayed
+                status = "error"
+                error = exc
+            burst_s = perf_counter() - burst0
+            self.exec_s += burst_s
+            # Read while still exclusive: the coordinator is blocked on
+            # the outbox until this reply lands.
+            self.had_work = q.next is not None or bool(q.heap)
+            outbox.put((lp, processed, burst_s, status, error))
+
+
+def _run_threads(engine, until: float) -> None:
+    """Coordinator for the threads backend.
+
+    The LBTS scan and burst bookkeeping are the serial merge's, but the
+    burst itself executes on the owning LP's worker thread.  Strict
+    grant/reply alternation keeps the execution order — and therefore
+    every observable byte — identical to the serial loop.
+    """
+    from repro.obs.profiler import perf_counter
+
+    if engine._running:
+        raise SimulationError("engine is not reentrant")
+    engine._running = True
+    profiled = engine.profiler is not None
+    outbox: SimpleQueue = SimpleQueue()
+    workers = [
+        _LpWorkerThread(engine, q, outbox, profiled) for q in engine._queues
+    ]
+    # Seed the blocked/idle classification before any thread runs (the
+    # queues are quiescent here; once threads start, only the granted
+    # worker may touch them).
+    for w in workers:
+        w.had_work = w.q.next is not None or bool(w.q.heap)
+        w.start()
+    processed = 0
+    stop = False
+    error: Optional[BaseException] = None
+    merge_s = 0.0
+    try:
+        while not stop:
+            scan0 = perf_counter() if profiled else 0.0
+            best_q, best_key, second_key = _scan(engine)
+            if profiled:
+                merge_s += perf_counter() - scan0
+            if best_q is None:
+                break
+            if best_key[0] > until:
+                break
+            lp = best_q.lp
+            engine._active = lp
+            engine._min_other = second_key
+            engine._bursts += 1
+            if best_key[0] > engine._eot_time:
+                engine._eot_time = best_key[0]
+                engine._eot_advances += 1
+            workers[lp].inbox.put(until)
+            _, n, burst_s, status, exc = outbox.get()
+            processed += n
+            if profiled:
+                engine._exec_s[lp] += burst_s
+            engine._active = -1
+            # The serial loop skips the per-LP burst count when the
+            # burst aborts (StopSimulation return / raised exception);
+            # match it so lp_stats is backend-invariant.
+            if status == "stopsim":
+                return
+            if status == "error":
+                error = exc
+                break
+            engine._lp_exec[lp] += n
+            if status == "until":
+                stop = True
+        if until is not math.inf and until > engine.now:
+            engine.now = until
+    finally:
+        for w in workers:
+            w.inbox.put(_STOP)
+        for w in workers:
+            w.join()
+            engine._worker_exec[w.lp] += w.exec_s
+            engine._worker_idle[w.lp] += w.idle_s
+            engine._worker_blocked[w.lp] += w.blocked_s
+        engine._active = -1
+        engine._min_other = _INF_KEY
+        engine._events_processed += processed
+        engine._live -= processed
+        engine._running = False
+        if profiled:
+            engine._merge_s += merge_s
+    if error is not None:
+        raise error
+
+
+# ----------------------------------------------------------------------
+# processes backend
+# ----------------------------------------------------------------------
+
+
+def _mirror_main(conn, lp: int) -> None:
+    """Worker-process body: replay one LP's queue from protocol records.
+
+    The first message is ``("init", keys)`` — the LP's snapshot slice.
+    Subsequent messages are record batches (lists); ``("e", token)``
+    inside a batch requests an EOT acknowledgment, ``("f", token)`` is
+    the final one.  The worker measures its own wall clocks: exec while
+    applying records, blocked-on-null while sleeping with a live head,
+    idle while sleeping empty.
+    """
+    from repro.obs.profiler import perf_counter
+
+    mirror: Optional[LpMirror] = None
+    exec_s = idle_s = blocked_s = 0.0
+    try:
+        while True:
+            had_work = mirror is not None and mirror.head() is not _INF_KEY
+            wait0 = perf_counter()
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                return  # coordinator died; nothing left to report to
+            waited = perf_counter() - wait0
+            if had_work:
+                blocked_s += waited
+            else:
+                idle_s += waited
+            t0 = perf_counter()
+            if isinstance(msg, tuple) and msg[0] == "init":
+                mirror = LpMirror(lp, msg[1])
+                exec_s += perf_counter() - t0
+                continue
+            for rec in msg:
+                tag = rec[0]
+                if tag == "e" or tag == "f":
+                    head = mirror.head() if mirror is not None else _INF_KEY
+                    conn.send(
+                        (
+                            "eot",
+                            lp,
+                            rec[1],
+                            head[0],
+                            head[1],
+                            mirror.executed if mirror is not None else 0,
+                            exec_s + (perf_counter() - t0),
+                            idle_s,
+                            blocked_s,
+                        )
+                    )
+                    if tag == "f":
+                        return
+                else:
+                    mirror.apply(rec)
+            exec_s += perf_counter() - t0
+    except LpWorkerError as exc:
+        try:
+            conn.send(("err", lp, str(exc)))
+        except (BrokenPipeError, OSError):
+            pass
+    except Exception as exc:  # pragma: no cover - defensive relay
+        try:
+            conn.send(("err", lp, f"{type(exc).__name__}: {exc}"))
+        except (BrokenPipeError, OSError):
+            pass
+
+
+class _WorkerTransport:
+    """Coordinator-side channel fleet for the processes backend.
+
+    Owns one pipe + OS process per LP, the per-LP record buffers the
+    engine's scheduling hooks append to, and the sync bookkeeping that
+    turns worker death into a prompt :class:`LpWorkerError`.
+    """
+
+    def __init__(self, engine):
+        import multiprocessing
+
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        self.engine = engine
+        self.buffers: List[list] = [[] for _ in engine._queues]
+        self.conns = []
+        self.procs = []
+        self._flushes = [0] * engine.shards
+        self._pending_ack = [0] * engine.shards  # outstanding sync tokens
+        self._token = 0
+        self.clocks: List[Tuple[float, float, float]] = [
+            (0.0, 0.0, 0.0)
+        ] * engine.shards
+        self.executed = [0] * engine.shards
+        self.final_head: List[tuple] = [_INF_KEY] * engine.shards
+        try:
+            for q in engine._queues:
+                parent, child = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_mirror_main,
+                    args=(child, q.lp),
+                    name=f"lp-worker-{q.lp}",
+                    daemon=True,
+                )
+                proc.start()
+                child.close()
+                self.conns.append(parent)
+                self.procs.append(proc)
+                parent.send(("init", _queue_keys(engine, q)))
+        except BaseException:
+            self.abort()
+            raise
+
+    # -- failure surface ------------------------------------------------
+    def _dead(self, lp: int, context: str) -> LpWorkerError:
+        code = self.procs[lp].exitcode
+        return LpWorkerError(
+            f"LP {lp} worker process died ({context}; exit code {code!r}) "
+            "— the campaign cell fails cleanly instead of hanging"
+        )
+
+    def _receive(self, lp: int, context: str) -> tuple:
+        conn = self.conns[lp]
+        if not conn.poll(SYNC_TIMEOUT):
+            self.abort()
+            raise self._dead(lp, f"no reply within {SYNC_TIMEOUT}s {context}")
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            self.abort()
+            raise self._dead(lp, context)
+        if msg[0] == "err":
+            self.abort()
+            raise LpWorkerError(f"LP {lp} worker: {msg[2]}")
+        return msg
+
+    def _drain_acks(self, lp: int, block: bool) -> None:
+        conn = self.conns[lp]
+        while self._pending_ack[lp] and (block or conn.poll(0)):
+            msg = self._receive(lp, "at sync")
+            self._pending_ack[lp] -= 1
+            self._note_eot(msg)
+
+    def _note_eot(self, msg: tuple) -> None:
+        _, lp, _tok, head_t, head_s, executed, ex, idl, blk = msg
+        self.final_head[lp] = (head_t, head_s)
+        self.executed[lp] = executed
+        self.clocks[lp] = (ex, idl, blk)
+
+    # -- record stream ----------------------------------------------------
+    def flush(self, lp: int) -> None:
+        buf = self.buffers[lp]
+        if not buf:
+            return
+        self._flushes[lp] += 1
+        if (
+            _TEST_KILL_BEFORE_FLUSH is not None
+            and _TEST_KILL_BEFORE_FLUSH == (lp, self._flushes[lp])
+        ):
+            self.procs[lp].terminate()
+            self.procs[lp].join()
+        if self._flushes[lp] % SYNC_FLUSHES == 0:
+            self._token += 1
+            buf.append(("e", self._token))
+            self._pending_ack[lp] += 1
+        try:
+            self.conns[lp].send(buf)
+        except (BrokenPipeError, OSError):
+            self.abort()
+            raise self._dead(lp, "at flush")
+        self.buffers[lp] = []
+        # Opportunistic, non-blocking ack drain keeps the reply pipe
+        # shallow without ever stalling the merge loop on a worker.
+        self._drain_acks(lp, block=False)
+
+    # -- shutdown ---------------------------------------------------------
+    def finish(self) -> None:
+        """Flush, final-sync, verify, and reap every worker.
+
+        Verification is the distributed check: each worker's replayed
+        head and executed count must match the coordinator's own queue —
+        any divergence means a protocol bug, and fails the run loudly.
+        """
+        engine = self.engine
+        for q in engine._queues:
+            lp = q.lp
+            self._token += 1
+            self.buffers[lp].append(("f", self._token))
+            try:
+                self.conns[lp].send(self.buffers[lp])
+            except (BrokenPipeError, OSError):
+                self.abort()
+                raise self._dead(lp, "at finish")
+            self.buffers[lp] = []
+        for q in engine._queues:
+            lp = q.lp
+            self._drain_acks(lp, block=True)
+            msg = self._receive(lp, "at finish")
+            self._note_eot(msg)
+            entry = engine._head(q)
+            local = (entry[0], entry[1]) if entry is not None else _INF_KEY
+            if self.final_head[lp] != local:
+                self.abort()
+                raise LpWorkerError(
+                    f"LP {lp} mirror diverged: worker EOT "
+                    f"{self.final_head[lp]} != coordinator head {local}"
+                )
+            engine._worker_exec[lp] += self.clocks[lp][0]
+            engine._worker_idle[lp] += self.clocks[lp][1]
+            engine._worker_blocked[lp] += self.clocks[lp][2]
+        self.abort()  # everything verified; reap the (exited) workers
+
+    def abort(self) -> None:
+        """Tear the fleet down without verification (error paths too)."""
+        for conn in self.conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        for proc in self.procs:
+            if proc.is_alive():
+                proc.terminate()
+            proc.join()
+
+
+def _run_processes(engine, until: float) -> None:
+    """Coordinator for the processes backend.
+
+    The merge loop is the serial one — callbacks execute here, in the
+    exact global order — with the protocol stream layered on: schedules
+    and cancels are captured by the engine's ``_proto`` hook as they
+    happen, burst records are appended per LBTS round, and batches flush
+    to the worker pipes at burst boundaries.
+    """
+    from repro.obs.profiler import perf_counter
+
+    if engine._running:
+        raise SimulationError("engine is not reentrant")
+    engine._running = True
+    profiled = engine.profiler is not None
+    record = engine.profiler.record if profiled else None
+    transport = _WorkerTransport(engine)
+    engine._proto = buffers = transport.buffers
+    freelist = engine._freelist
+    processed = 0
+    stop = False
+    clean = False
+    merge_s = 0.0
+    exec_s = [0.0] * engine.shards if profiled else None
+    try:
+        while not stop:
+            scan0 = perf_counter() if profiled else 0.0
+            best_q, best_key, second_key = _scan(engine)
+            if profiled:
+                merge_s += perf_counter() - scan0
+            if best_q is None:
+                break
+            if best_key[0] > until:
+                break
+            lp = best_q.lp
+            engine._active = lp
+            engine._min_other = second_key
+            engine._bursts += 1
+            if best_key[0] > engine._eot_time:
+                engine._eot_time = best_key[0]
+                engine._eot_advances += 1
+            burst_start = processed
+            burst0 = perf_counter() if profiled else 0.0
+            stopsim = False
+            while True:
+                nxt = engine._head(best_q)
+                if nxt is None:
+                    break
+                time = nxt[0]
+                if (time, nxt[1]) >= engine._min_other:
+                    break
+                if time > until:
+                    stop = True
+                    break
+                best_q.next = None
+                timer = nxt[2]
+                engine.now = time
+                processed += 1
+                timer.fired = True
+                engine._cur = lp
+                if record is None:
+                    try:
+                        timer.fn(*timer.args)
+                    except StopSimulation:
+                        stopsim = True
+                        break
+                else:
+                    fn = timer.fn
+                    args = timer.args
+                    start = perf_counter()
+                    try:
+                        fn(*args)
+                    except StopSimulation:
+                        record(fn, perf_counter() - start)
+                        stopsim = True
+                        break
+                    record(fn, perf_counter() - start)
+                if not timer.cancelled and len(freelist) < _FREELIST_MAX:
+                    freelist.append(timer)
+            if profiled:
+                exec_s[lp] += perf_counter() - burst0
+            n = processed - burst_start
+            engine._active = -1
+            if n:
+                # Every key executed this burst lies strictly below the
+                # final (possibly mid-burst-lowered) bound — schedules
+                # never land in the past, so lowerings stay above all
+                # previously executed keys.
+                bound = engine._min_other
+                buffers[lp].append(("b", n, bound[0], bound[1]))
+            if stopsim:
+                # Serial semantics: StopSimulation returns without the
+                # per-LP burst count; the burst record was still shipped
+                # so the mirror verifies the keys that did execute.
+                clean = True
+                return
+            engine._lp_exec[lp] += n
+            if len(buffers[lp]) >= FLUSH_RECORDS:
+                transport.flush(lp)
+        if until is not math.inf and until > engine.now:
+            engine.now = until
+        clean = True
+    finally:
+        engine._proto = None
+        engine._active = -1
+        engine._min_other = _INF_KEY
+        engine._events_processed += processed
+        engine._live -= processed
+        engine._running = False
+        if profiled:
+            engine._merge_s += merge_s
+            for i, s in enumerate(exec_s):
+                engine._exec_s[i] += s
+        if clean:
+            transport.finish()
+        else:
+            transport.abort()

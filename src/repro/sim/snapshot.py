@@ -80,7 +80,14 @@ from .engine import SimulationError
 #:     (``_timer_allocs``/``_compactions``, plus the sharded engine's
 #:     per-LP accounting) in its pickled layout; v3 blobs restored by v4
 #:     code would lack them and die on first digest.
-FORMAT_VERSION = 4
+#:
+#: v5: the sharded engine carries its execution backend and per-worker
+#:     wall-clock slots (``backend``/``_proto``/``_worker_*``) in its
+#:     pickled layout; parallel-backend workers rebuild their LP-slice
+#:     mirrors from the restored queues at the next ``run()``, so a v4
+#:     blob restored by v5 code would lack the slots those workers and
+#:     ``lp_stats()`` read.
+FORMAT_VERSION = 5
 
 #: Protocol 4 is the newest protocol supported by every interpreter in
 #: the CI matrix; the digest pins the writer's Python anyway, this just

@@ -1,0 +1,283 @@
+"""Parallel-backend runs must be byte-identical to the serial merge.
+
+The ``--lp-backend`` analogue of the PR 8 shard-equivalence suite: every
+observable — state digests, monitor series, campaign cell payloads,
+global id streams, snapshot continuations — must be a pure function of
+(version, settings, seed), independent of whether the sharded engine
+executes its merge serially, on per-LP worker threads, or against
+per-LP OS worker processes exchanging EOT/null/frame records over
+pipes.  Plus the failure surface: a worker killed mid-run must be a
+clean :class:`LpWorkerError` on the campaign cell, never a hang.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.runner import CampaignRunner, run_campaign
+from repro.experiments.settings import Phase1Settings
+from repro.experiments.store import MemoryStore, payload_fingerprint
+from repro.faults.spec import FaultKind
+from repro.obs.profiler import FlightRecorder
+from repro.press.cluster import SMOKE_SCALE, PressCluster
+from repro.press.config import ALL_VERSIONS, TCP_PRESS, VIA_PRESS_5
+from repro.sim import ids, lpexec, snapshot
+from repro.sim.lp import ShardedEngine
+from repro.sim.lpexec import BACKENDS, LpWorkerError
+
+PARALLEL = [b for b in BACKENDS if b != "serial"]
+
+
+def _cluster(
+    config,
+    shards,
+    backend="serial",
+    n_nodes=4,
+    seed=3,
+    until=20.0,
+    profile=False,
+):
+    ids.reset_global_ids()
+    c = PressCluster(
+        config,
+        n_nodes=n_nodes,
+        scale=SMOKE_SCALE,
+        seed=seed,
+        shards=shards,
+        lp_backend=backend,
+    )
+    if profile:
+        c.engine.profiler = FlightRecorder()
+    c.start()
+    c.run_until(until)
+    return c
+
+
+def _observables(c, until=20.0):
+    return (
+        snapshot.state_digest(c),
+        c.engine.events_processed,
+        c.engine.snapshot_state(),
+        c.monitor.series(0.0, until),
+        repr(ids.global_id_state()),
+    )
+
+
+@pytest.mark.parametrize("backend", PARALLEL)
+@pytest.mark.parametrize("shards", [1, 2, 4])
+@pytest.mark.parametrize("version", ["TCP-PRESS", "VIA-PRESS-5"])
+def test_cluster_observables_backend_invariant(version, shards, backend):
+    config = ALL_VERSIONS[version]
+    reference = _observables(_cluster(config, shards=shards))
+    got = _observables(_cluster(config, shards=shards, backend=backend))
+    assert got == reference
+
+
+@pytest.mark.parametrize("backend", PARALLEL)
+def test_profiled_backend_matches_unprofiled_serial(backend):
+    """The flight recorder stays a pure observer inside the workers."""
+    reference = _observables(_cluster(VIA_PRESS_5, shards=4))
+    got = _observables(
+        _cluster(VIA_PRESS_5, shards=4, backend=backend, profile=True)
+    )
+    assert got == reference
+
+
+@pytest.mark.parametrize("backend", PARALLEL)
+def test_worker_clocks_measured_inside_workers(backend):
+    """lp_stats() carries real per-worker exec/idle/blocked wall clocks
+    and an imbalance index computed from them."""
+    c = _cluster(VIA_PRESS_5, shards=4, backend=backend)
+    stats = c.engine.lp_stats()
+    assert stats["backend"] == backend
+    assert len(stats["worker_exec_s"]) == 4
+    assert sum(stats["worker_exec_s"]) > 0.0
+    # Conservative synchronization means somebody waited on a bound.
+    assert (
+        sum(stats["worker_blocked_s"]) + sum(stats["worker_idle_s"]) > 0.0
+    )
+    assert stats["worker_imbalance"] is not None
+    assert stats["worker_imbalance"] >= 1.0
+
+
+def test_serial_backend_has_no_worker_clocks():
+    c = _cluster(VIA_PRESS_5, shards=4)
+    stats = c.engine.lp_stats()
+    assert stats["backend"] == "serial"
+    assert sum(stats["worker_exec_s"]) == 0.0
+    assert stats["worker_imbalance"] is None
+
+
+def test_imbalance_none_before_any_event():
+    """Zero-event LPs: the index is undefined (None), never inf/raise."""
+    eng = ShardedEngine(shards=3)
+    stats = eng.lp_stats()
+    assert stats["imbalance"] is None
+    assert stats["worker_imbalance"] is None
+
+
+def test_backend_validated():
+    with pytest.raises(ValueError):
+        ShardedEngine(shards=2, backend="fibers")
+    with pytest.raises(ValueError):
+        Phase1Settings(lp_backend="fibers")
+
+
+def test_parallel_backend_runs_even_at_one_shard():
+    """--lp-backend processes with --shards 1 still builds the sharded
+    engine (one LP, one worker) rather than silently going serial."""
+    c = PressCluster(
+        TCP_PRESS, n_nodes=4, scale=SMOKE_SCALE, seed=1,
+        shards=1, lp_backend="processes",
+    )
+    assert isinstance(c.engine, ShardedEngine)
+    assert c.engine.backend == "processes"
+
+
+@pytest.mark.parametrize("backend", PARALLEL)
+def test_campaign_fault_cells_backend_invariant(backend):
+    """Full campaign cells through the runner's warm-start machinery
+    fingerprint identically across backends."""
+    base = Phase1Settings(
+        scale=SMOKE_SCALE,
+        seed=11,
+        warm=10.0,
+        fault_at=30.0,
+        fault_duration=20.0,
+        post_recovery=20.0,
+        tail=10.0,
+        replications=1,
+        shards=3,
+    )
+    faults = [FaultKind.NODE_CRASH]
+    results = {}
+    for lp_backend in ("serial", backend):
+        settings = dataclasses.replace(base, lp_backend=lp_backend)
+        store = MemoryStore()
+        run_campaign(
+            settings,
+            versions=["VIA-PRESS-5"],
+            faults=faults,
+            store=store,
+            use_cache=True,
+        )
+        results[lp_backend] = {
+            (key.version, key.fault, key.seed, key.rep): payload_fingerprint(
+                payload
+            )
+            for key, payload in store._cells.items()
+        }
+    assert results["serial"] == results[backend]
+    assert len(results["serial"]) == 2  # baseline + 1 fault
+
+
+@pytest.mark.parametrize("backend", PARALLEL)
+def test_backend_snapshot_round_trip(backend):
+    """Capture mid-run, restore, continue under the same backend —
+    workers rebuild their LP-slice mirrors from the restored queues and
+    the continuation matches the uninterrupted serial run."""
+    c = _cluster(VIA_PRESS_5, shards=4, backend=backend)
+    blob = snapshot.capture(c)
+    c2 = snapshot.restore(blob)
+    assert isinstance(c2.engine, ShardedEngine)
+    assert c2.engine.backend == backend
+    assert snapshot.state_digest(c2) == snapshot.state_digest(c)
+
+    c2.run_until(45.0)
+    serial = _cluster(VIA_PRESS_5, shards=4, until=45.0)
+    assert snapshot.state_digest(c2) == snapshot.state_digest(serial)
+    assert c2.monitor.series(0.0, 45.0) == serial.monitor.series(0.0, 45.0)
+
+
+def test_killed_worker_raises_clean_error_not_hang():
+    """Terminate one LP worker mid-run: the run must fail promptly with
+    LpWorkerError, not deadlock on a dead pipe."""
+    lpexec._TEST_KILL_BEFORE_FLUSH = (1, 2)
+    try:
+        with pytest.raises(LpWorkerError, match="died"):
+            _cluster(VIA_PRESS_5, shards=4, backend="processes")
+    finally:
+        lpexec._TEST_KILL_BEFORE_FLUSH = None
+
+
+def test_killed_worker_is_a_clean_campaign_cell_error():
+    """The same failure through a campaign cell: the campaign errors
+    out cleanly instead of hanging the wave."""
+    settings = Phase1Settings(
+        scale=SMOKE_SCALE,
+        seed=11,
+        warm=10.0,
+        fault_at=30.0,
+        fault_duration=20.0,
+        post_recovery=20.0,
+        tail=10.0,
+        replications=1,
+        shards=4,
+        lp_backend="processes",
+    )
+    lpexec._TEST_KILL_BEFORE_FLUSH = (0, 1)
+    try:
+        with pytest.raises(LpWorkerError, match="campaign cell"):
+            run_campaign(
+                settings,
+                versions=["VIA-PRESS-5"],
+                faults=[],
+                store=MemoryStore(),
+                use_cache=False,
+            )
+    finally:
+        lpexec._TEST_KILL_BEFORE_FLUSH = None
+
+
+def test_mirror_divergence_detected_at_finish():
+    """The end-of-run verification really cross-checks the mirrors: a
+    worker whose replayed queue disagrees with the coordinator's is a
+    protocol error, not a silent pass."""
+    c = PressCluster(
+        VIA_PRESS_5, n_nodes=4, scale=SMOKE_SCALE, seed=3,
+        shards=2, lp_backend="processes",
+    )
+    c.start()
+    original = lpexec._queue_keys
+
+    def corrupted(engine, q):
+        keys = original(engine, q)
+        if q.lp == 1:
+            keys = keys + [(-1.0, 10 ** 9)]  # a key the coordinator lacks
+        return keys
+
+    lpexec._queue_keys = corrupted
+    try:
+        with pytest.raises(LpWorkerError, match="diverged|bound"):
+            c.run_until(20.0)
+    finally:
+        lpexec._queue_keys = original
+
+
+def test_processes_jobs_capped_against_worker_oversubscription():
+    """--jobs x --lp-backend processes caps the campaign pool so cells
+    times per-cell LP workers cannot oversubscribe the host."""
+    settings = Phase1Settings(shards=4, lp_backend="processes")
+    runner = CampaignRunner(settings, jobs=64)
+    import os
+
+    per_cell = 1 + 4
+    expected = max(1, (os.cpu_count() or 1) // per_cell)
+    assert runner.jobs == expected
+    assert runner._jobs_notice is not None
+    assert "oversubscribe" in runner._jobs_notice
+
+
+def test_serial_jobs_not_capped():
+    settings = Phase1Settings(shards=4)
+    runner = CampaignRunner(settings, jobs=8)
+    assert runner.jobs == 8
+    assert runner._jobs_notice is None
+
+
+def test_lp_backend_in_sim_key():
+    """Like --shards: a backend-verification run must actually run, so
+    the backend is part of the cell cache identity."""
+    a = Phase1Settings(lp_backend="serial").sim_key()
+    b = Phase1Settings(lp_backend="processes").sim_key()
+    assert a != b

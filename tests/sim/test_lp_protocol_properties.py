@@ -1,0 +1,183 @@
+"""Property suite for the parallel-LP worker message protocol.
+
+The contract under test (see :mod:`repro.sim.lpexec`): arbitrary
+interleavings of the protocol messages N workers exchange — EOT
+announcements (mirror heads), null messages (mid-burst bound
+lowerings caused by cross-LP frames), and frame deliveries (schedule
+records) — must reduce to exactly the total order the serial merge
+produces over the same events.  The transports are exercised end-to-end
+by ``test_lp_backends``; here hypothesis drives the pure protocol core
+(:class:`LpMirror`, :class:`MergeProtocol`, :func:`merge_order`)
+directly, with randomized event programs whose executions spawn further
+cross-LP events.
+"""
+
+from heapq import heappop, heappush
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.lpexec import LpMirror, LpWorkerError, MergeProtocol, merge_order
+
+#: Coarse time grid: collisions in *time* are the interesting case (the
+#: (time, seq) tiebreak must resolve them identically everywhere).
+_TIMES = st.sampled_from([0.0, 1.0, 2.0, 3.0, 5.0, 8.0])
+_DELAYS = st.sampled_from([0.0, 0.5, 1.0, 2.0])
+
+
+@st.composite
+def programs(draw):
+    """A random event program over N LPs.
+
+    Returns ``(n_lps, initial, spawns)`` where ``initial`` is a list of
+    (time, lp) for pre-scheduled events and ``spawns[i]`` is the list of
+    (delay, dst_lp) frames the i-th *executed* event emits (events past
+    the list's end spawn nothing, so every program terminates) — the
+    cross-LP ones are exactly the null messages of the shared-memory
+    CMB design.
+    """
+    n_lps = draw(st.integers(min_value=1, max_value=4))
+    initial = draw(
+        st.lists(
+            st.tuples(_TIMES, st.integers(0, n_lps - 1)),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    spawns = draw(
+        st.lists(
+            st.lists(
+                st.tuples(_DELAYS, st.integers(0, n_lps - 1)),
+                max_size=2,
+            ),
+            min_size=40,
+            max_size=40,
+        )
+    )
+    return n_lps, initial, spawns
+
+
+def _serial_reference(n_lps, initial, spawns):
+    """Execute the program the way the serial merge does.
+
+    Sequence numbers are assigned at *schedule* time in execution order
+    (the engine's global counter), events pop in (time, seq) order.
+    Returns the executed key order, the per-LP initial key slices, and
+    the frames map ``executed key -> [("s", t, seq, dst_lp)]`` that
+    MergeProtocol.run consumes.
+    """
+    heap = []
+    seq = 0
+    slices = [[] for _ in range(n_lps)]
+    for time, lp in initial:
+        seq += 1
+        heappush(heap, (time, seq, lp))
+        slices[lp].append((time, seq))
+    order = []
+    frames = {}
+    executed = 0
+    while heap:
+        time, s, lp = heappop(heap)
+        key = (time, s)
+        order.append(key)
+        if executed < len(spawns):
+            for delay, dst in spawns[executed]:
+                seq += 1
+                t = time + delay
+                heappush(heap, (t, seq, dst))
+                frames.setdefault(key, []).append(("s", t, seq, dst))
+        executed += 1
+    return order, slices, frames
+
+
+@settings(max_examples=120, deadline=None)
+@given(programs())
+def test_protocol_reduces_to_serial_merge_order(program):
+    """EOT/null/frame interleavings == the serial merge total order."""
+    n_lps, initial, spawns = program
+    order, slices, frames = _serial_reference(n_lps, initial, spawns)
+    mirrors = [LpMirror(lp, keys, keep_order=True) for lp, keys in enumerate(slices)]
+    proto = MergeProtocol(mirrors)
+    assert proto.run(frames) == order
+    # Every mirror drained, and per-LP executed orders are the serial
+    # order restricted to that LP (the worker-side view of determinism).
+    for mirror in mirrors:
+        assert mirror.head() == (float("inf"), 0)
+    merged = sorted(k for m in mirrors for k in m.order)
+    assert merged == sorted(order)
+
+
+@settings(max_examples=120, deadline=None)
+@given(programs())
+def test_merge_order_is_the_sorted_union(program):
+    """The serial reference executes the sorted union of all keys."""
+    n_lps, initial, spawns = program
+    order, slices, frames = _serial_reference(n_lps, initial, spawns)
+    all_keys = [k for lp_keys in slices for k in lp_keys] + [
+        (t, s) for recs in frames.values() for (_, t, s, _) in recs
+    ]
+    assert order == merge_order([all_keys])
+    # keys are globally unique: the tiebreak-id total order is total
+    assert len(set(all_keys)) == len(all_keys)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.lists(st.tuples(_TIMES, st.integers(1, 50)), max_size=20),
+    st.data(),
+)
+def test_mirror_head_tracks_live_minimum(entries, data):
+    """head() is the minimum un-cancelled key under any schedule/cancel
+    interleaving, and never raises on an empty mirror."""
+    unique = {}
+    for t, s in entries:
+        unique.setdefault(s, t)
+    keys = [(t, s) for s, t in unique.items()]
+    mirror = LpMirror(0)
+    live = set()
+    for key in keys:
+        mirror.apply(("s", key[0], key[1]))
+        live.add(key)
+        if live and data.draw(st.booleans()):
+            victim = data.draw(st.sampled_from(sorted(live)))
+            mirror.apply(("c", victim[1]))
+            live.discard(victim)
+        expect = min(live) if live else (float("inf"), 0)
+        assert mirror.head() == expect
+
+
+def test_mirror_rejects_burst_past_the_bound():
+    """A burst whose keys reach the granted bound is a protocol error —
+    the distributed check the processes backend ships to its workers."""
+    mirror = LpMirror(0, [(1.0, 1), (2.0, 2)])
+    with pytest.raises(LpWorkerError):
+        mirror.apply(("b", 2, 2.0, 2))  # second pop == bound: violation
+
+
+def test_mirror_rejects_burst_on_empty_queue():
+    mirror = LpMirror(0)
+    with pytest.raises(LpWorkerError):
+        mirror.apply(("b", 1, 5.0, 0))
+
+
+def test_next_grant_picks_min_eot_bounded_by_second():
+    """The grant goes to the minimal EOT announcement; the bound is the
+    runner-up — the LBTS the serial merge computes each round."""
+    mirrors = [
+        LpMirror(0, [(3.0, 2)]),
+        LpMirror(1, [(1.0, 1)]),
+        LpMirror(2, [(3.0, 5)]),
+    ]
+    proto = MergeProtocol(mirrors)
+    lp, bound = proto.next_grant()
+    assert lp == 1
+    assert bound == (3.0, 2)  # time tie resolved by the tiebreak id
+    assert proto.eot(1) == (1.0, 1)
+
+
+def test_next_grant_none_when_drained():
+    assert MergeProtocol([LpMirror(0), LpMirror(1)]).next_grant() is None
